@@ -1,0 +1,46 @@
+// Ablation A: the α-filter of Algorithm 1. Sweeps α and reports the
+// Pareto-front size, configs explored, selection wall time, and the best
+// speedup — showing the filter buys large runtime savings at negligible
+// quality loss (the paper's log_α(A) bound in §III-D).
+#include <chrono>
+#include <cstdio>
+
+#include "cayman/framework.h"
+#include "select/selector.h"
+#include "workloads/workloads.h"
+
+using namespace cayman;
+
+int main() {
+  const char* benchmarks[] = {"3mm", "cjpeg", "deriche"};
+  const double alphas[] = {1.0, 1.02, 1.05, 1.12, 1.3, 1.6, 2.0};
+
+  std::printf("Ablation: alpha-filter sweep (budget 65%%)\n\n");
+  std::printf("%-10s %6s %10s %10s %12s %12s\n", "benchmark", "alpha",
+              "front", "configs", "time(us)", "speedup");
+
+  for (const char* name : benchmarks) {
+    Framework fw(workloads::build(name));
+    for (double alpha : alphas) {
+      select::SelectorParams params;
+      params.areaBudgetUm2 = fw.budgetUm2(0.65);
+      params.alpha = alpha;
+      params.clockRatio = fw.options().clockRatio();
+      select::CandidateSelector selector(fw.model(), params);
+
+      auto start = std::chrono::steady_clock::now();
+      std::vector<select::Solution> front = selector.select();
+      double micros = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      select::Solution best = selector.best();
+      std::printf("%-10s %6.2f %10zu %10d %12.0f %12.2f\n", name, alpha,
+                  front.size(), selector.stats().configsGenerated, micros,
+                  fw.speedupOf(best));
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape: larger alpha shrinks the front and speeds up "
+              "selection; best speedup degrades only marginally.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Extension bench: energy accounting per benchmark — the conservation-core
+// motivation behind the paper's QsCores baseline [22][23]. Reports CPU
+// energy displaced, accelerator energy spent (dynamic + leakage), and the
+// energy-savings factor for the 25% budget solutions.
+#include <cstdio>
+
+#include "accel/energy.h"
+#include "cayman/framework.h"
+#include "workloads/workloads.h"
+
+using namespace cayman;
+
+int main() {
+  std::printf("Energy extension: offloaded-work energy at the 25%% budget\n\n");
+  std::printf("%-22s %12s %12s %12s %10s\n", "benchmark", "cpu(uJ)",
+              "accel(uJ)", "idle-leak", "savings");
+
+  double totalSavings = 0.0;
+  int counted = 0;
+  for (const auto& info : workloads::all()) {
+    Framework fw(workloads::build(info.name));
+    select::Solution best = fw.best(0.25);
+    if (best.empty()) continue;
+    accel::EnergyModel energy(fw.model());
+    accel::EnergyReport report = energy.estimate(best, fw.totalCpuCycles());
+    std::printf("%-22s %12.3f %12.3f %12.3f %9.2fx\n", info.name.c_str(),
+                report.cpuEnergyUj, report.accelEnergyUj,
+                report.idleLeakageUj, report.savingsFactor());
+    totalSavings += report.savingsFactor();
+    ++counted;
+  }
+  std::printf("\naverage energy-savings factor: %.2fx across %d benchmarks\n",
+              totalSavings / counted, counted);
+  std::printf("(extension beyond the paper: Cayman optimizes performance "
+              "under area budgets; this closes the energy loop the QsCores "
+              "line of work motivates.)\n");
+  return 0;
+}

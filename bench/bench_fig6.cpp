@@ -1,0 +1,86 @@
+// Reproduces Fig. 6: speedup-vs-area Pareto fronts of NOVIA, QsCores,
+// coupled-only Cayman, and full Cayman for one benchmark per suite.
+//
+// The paper's shape: NOVIA points cluster in the lower-left; QsCores scales
+// poorly with area; full Cayman dominates; coupled-only trails full Cayman
+// except on loops-all-mid-10k-sp where FP recurrences bound the II anyway.
+#include <cstdio>
+
+#include "cayman/framework.h"
+#include "workloads/workloads.h"
+
+using namespace cayman;
+
+namespace {
+
+void printSeries(const char* label,
+                 const std::vector<std::pair<double, double>>& points) {
+  std::printf("  %s:\n", label);
+  for (const auto& [areaRatio, speedup] : points) {
+    std::printf("    area=%.4f speedup=%.3f\n", areaRatio, speedup);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const char* benchmarks[] = {"3mm", "fft", "epic", "loops-all-mid-10k-sp"};
+  const double budgetRatio = 0.8;  // sweep the full x-axis of the figure
+
+  std::printf("Fig. 6 reproduction: Pareto fronts (x: area / CVA6 tile, "
+              "y: whole-program speedup)\n");
+
+  for (const char* name : benchmarks) {
+    std::printf("\n== %s ==\n", name);
+
+    Framework full(workloads::build(name));
+    FrameworkOptions coupledOptions;
+    coupledOptions.coupledOnly = true;
+    Framework coupled(workloads::build(name), coupledOptions);
+
+    double tile = full.tech().cva6TileAreaUm2;
+    double tAll = full.totalCpuCycles();
+    double ratio = full.options().clockRatio();
+
+    std::vector<std::pair<double, double>> series;
+
+    // NOVIA: greedy CFU prefix points.
+    for (const auto& p : full.novia().paretoFront(budgetRatio * tile)) {
+      series.emplace_back(p.areaUm2 / tile, p.speedup(tAll));
+    }
+    printSeries("NOVIA", series);
+
+    // QsCores: sequential + scan-chain solutions.
+    series.clear();
+    for (const auto& s :
+         full.qscores().paretoFront(budgetRatio * tile, ratio)) {
+      series.emplace_back(s.areaUm2 / tile, s.speedup(tAll, ratio));
+    }
+    printSeries("QsCores", series);
+
+    // Coupled-only Cayman (interface-specialization ablation).
+    series.clear();
+    for (const auto& s : coupled.explore(budgetRatio)) {
+      series.emplace_back(s.areaUm2 / tile, coupled.speedupOf(s));
+    }
+    printSeries("Cayman (coupled-only)", series);
+
+    // Full Cayman.
+    series.clear();
+    for (const auto& s : full.explore(budgetRatio)) {
+      series.emplace_back(s.areaUm2 / tile, full.speedupOf(s));
+    }
+    printSeries("Cayman (full)", series);
+
+    // Shape summary for quick eyeballing.
+    double bestFull = full.speedupOf(full.best(budgetRatio));
+    double bestCoupled = coupled.speedupOf(coupled.best(budgetRatio));
+    double bestNovia = full.novia().best(budgetRatio * tile).speedup(tAll);
+    double bestQs =
+        full.qscores().best(budgetRatio * tile, ratio).speedup(tAll, ratio);
+    std::printf("  best: full=%.2fx coupled-only=%.2fx qscores=%.2fx "
+                "novia=%.2fx\n",
+                bestFull, bestCoupled, bestQs, bestNovia);
+  }
+  return 0;
+}

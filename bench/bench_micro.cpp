@@ -1,0 +1,93 @@
+// Substrate micro-benchmarks (google-benchmark): interpreter throughput,
+// wPST construction, analysis passes, block scheduling, and the selection
+// DP. These bound the framework runtime column of Table II.
+#include <benchmark/benchmark.h>
+
+#include "cayman/framework.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace cayman;
+
+void BM_InterpreterRun(benchmark::State& state) {
+  auto module = workloads::build("atax");
+  sim::Interpreter interp(*module);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::Interpreter::Result result = interp.run();
+    instructions = result.instructions;
+    benchmark::DoNotOptimize(result.totalCycles);
+  }
+  state.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterRun);
+
+void BM_WPstConstruction(benchmark::State& state) {
+  auto module = workloads::build("cjpeg");
+  for (auto _ : state) {
+    analysis::WPst wpst(*module);
+    benchmark::DoNotOptimize(wpst.allRegions().size());
+  }
+}
+BENCHMARK(BM_WPstConstruction);
+
+void BM_ScalarEvolutionAndDeps(benchmark::State& state) {
+  auto module = workloads::build("3mm");
+  analysis::WPst wpst(*module);
+  const ir::Function* f = module->entryFunction();
+  for (auto _ : state) {
+    analysis::ScalarEvolution scev(*f, wpst.analyses(f));
+    analysis::MemoryAnalysis mem(*f, wpst.analyses(f), scev);
+    benchmark::DoNotOptimize(mem.accesses().size());
+  }
+}
+BENCHMARK(BM_ScalarEvolutionAndDeps);
+
+void BM_BlockScheduling(benchmark::State& state) {
+  auto module = workloads::build("3mm");
+  const ir::BasicBlock* body =
+      module->entryFunction()->blockByName("mm1.k.body");
+  hls::TechLibrary tech = hls::TechLibrary::nangate45();
+  hls::Scheduler scheduler(tech, hls::InterfaceTiming{}, 2.0);
+  unsigned unroll = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    hls::BlockSchedule sched = scheduler.scheduleBlock(*body, {}, unroll);
+    benchmark::DoNotOptimize(sched.latency);
+  }
+}
+BENCHMARK(BM_BlockScheduling)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SelectionDp(benchmark::State& state) {
+  Framework fw(workloads::build("deriche"));
+  for (auto _ : state) {
+    select::Solution best = fw.best(0.65);
+    benchmark::DoNotOptimize(best.areaUm2);
+  }
+}
+BENCHMARK(BM_SelectionDp);
+
+void BM_EndToEndEvaluate(benchmark::State& state) {
+  for (auto _ : state) {
+    Framework fw(workloads::build("mvt"));
+    EvaluationReport report = fw.evaluate(0.25);
+    benchmark::DoNotOptimize(report.caymanSpeedup);
+  }
+}
+BENCHMARK(BM_EndToEndEvaluate);
+
+void BM_Merging(benchmark::State& state) {
+  Framework fw(workloads::build("3mm"));
+  select::Solution best = fw.best(0.65);
+  merge::AcceleratorMerger merger(fw.tech());
+  for (auto _ : state) {
+    merge::MergeResult result = merger.run(best);
+    benchmark::DoNotOptimize(result.areaAfterUm2);
+  }
+}
+BENCHMARK(BM_Merging);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Reproduces Table II: per-benchmark speedup over NOVIA [21] and QsCores
+// [23] under the 25% and 65% CVA6-tile area budgets, the selected kernel
+// configuration counts (#SB, #PR), the interface mix (#C, #D, #S), the area
+// saving from accelerator merging, and the framework runtime.
+//
+// Absolute magnitudes differ from the paper (simulated substrate); the
+// reproduction target is the shape: Cayman > QsCores > NOVIA everywhere,
+// larger budgets never worse, decoupled/scratchpad dominating the interface
+// mix, and merging saving a large fraction of area.
+#include <chrono>
+#include <cstdio>
+
+#include "cayman/framework.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+struct Row {
+  std::string suite;
+  std::string name;
+  cayman::EvaluationReport small;
+  cayman::EvaluationReport large;
+  double seconds = 0.0;
+};
+
+void printHeader() {
+  std::printf(
+      "%-12s %-20s | %9s %9s %4s %4s %4s %4s %4s %7s | %9s %9s %4s %4s %4s "
+      "%4s %4s %7s | %8s\n",
+      "Suite", "Benchmark", "over[21]", "over[23]", "#SB", "#PR", "#C", "#D",
+      "#S", "Save%", "over[21]", "over[23]", "#SB", "#PR", "#C", "#D", "#S",
+      "Save%", "Time(s)");
+  std::printf("%.*s\n", 170,
+              "--------------------------------------------------------------"
+              "--------------------------------------------------------------"
+              "----------------------------------------------");
+}
+
+void printRow(const Row& row) {
+  auto side = [](const cayman::EvaluationReport& r) {
+    std::printf("%9.1f %9.1f %4u %4u %4u %4u %4u %7.1f", r.overNovia,
+                r.overQsCores, r.numSeqBlocks, r.numPipelinedRegions,
+                r.numCoupled, r.numDecoupled, r.numScratchpad,
+                r.areaSavingPercent);
+  };
+  std::printf("%-12s %-20s | ", row.suite.c_str(), row.name.c_str());
+  side(row.small);
+  std::printf(" | ");
+  side(row.large);
+  std::printf(" | %8.2f\n", row.seconds);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table II reproduction: area budgets 25%% and 65%% of a CVA6 "
+              "tile (paper section IV-B)\n\n");
+  printHeader();
+
+  std::vector<Row> rows;
+  for (const auto& info : cayman::workloads::all()) {
+    auto start = std::chrono::steady_clock::now();
+    cayman::Framework framework(cayman::workloads::build(info.name));
+    Row row;
+    row.suite = info.suite;
+    row.name = info.name;
+    row.small = framework.evaluate(0.25);
+    row.large = framework.evaluate(0.65);
+    row.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    printRow(row);
+    rows.push_back(row);
+  }
+
+  // Averages (the paper's final row).
+  Row avg;
+  avg.suite = "average";
+  double n = static_cast<double>(rows.size());
+  auto accumulate = [n](cayman::EvaluationReport& into,
+                        const std::vector<Row>& all, bool large) {
+    double overN = 0, overQ = 0, save = 0;
+    double sb = 0, pr = 0, c = 0, d = 0, s = 0;
+    for (const Row& row : all) {
+      const cayman::EvaluationReport& r = large ? row.large : row.small;
+      overN += r.overNovia;
+      overQ += r.overQsCores;
+      save += r.areaSavingPercent;
+      sb += r.numSeqBlocks;
+      pr += r.numPipelinedRegions;
+      c += r.numCoupled;
+      d += r.numDecoupled;
+      s += r.numScratchpad;
+    }
+    into.overNovia = overN / n;
+    into.overQsCores = overQ / n;
+    into.areaSavingPercent = save / n;
+    into.numSeqBlocks = static_cast<unsigned>(sb / n);
+    into.numPipelinedRegions = static_cast<unsigned>(pr / n);
+    into.numCoupled = static_cast<unsigned>(c / n);
+    into.numDecoupled = static_cast<unsigned>(d / n);
+    into.numScratchpad = static_cast<unsigned>(s / n);
+  };
+  accumulate(avg.small, rows, false);
+  accumulate(avg.large, rows, true);
+  for (const Row& row : rows) avg.seconds += row.seconds / n;
+  std::printf("%.*s\n", 170,
+              "--------------------------------------------------------------"
+              "--------------------------------------------------------------"
+              "----------------------------------------------");
+  printRow(avg);
+
+  std::printf(
+      "\npaper averages for comparison: 25%% -> 14.4x/8.0x, #SB 22, #PR 14, "
+      "C/D/S 7/27/6, save 36%%; 65%% -> 27.2x/15.0x, #SB 28, #PR 16, C/D/S "
+      "10/25/18, save 35%%; runtime 70.8s\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Export RTL: select accelerators for a workload and print the generated
+// Verilog for the hottest kernel — the flow's last mile (paper §III-F).
+//
+//   ./export_rtl [workload] [budget]
+#include <cstdio>
+#include <cstdlib>
+
+#include "accel/rtl.h"
+#include "cayman/framework.h"
+#include "workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "atax";
+  double budget = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+  cayman::Framework framework(cayman::workloads::build(name));
+  cayman::select::Solution best = framework.best(budget);
+  if (best.empty()) {
+    std::printf("no profitable kernel under a %.0f%% budget\n", budget * 100);
+    return 0;
+  }
+
+  // Pick the accelerator displacing the most CPU time.
+  const cayman::accel::AcceleratorConfig* hottest = &best.accelerators[0];
+  for (const auto& config : best.accelerators) {
+    if (config.cpuCycles > hottest->cpuCycles) hottest = &config;
+  }
+
+  std::printf("// workload: %s, kernel: %s\n", name,
+              hottest->region->label().c_str());
+  std::printf("// displaces %.0f CPU cycles; runs in %.0f accelerator "
+              "cycles\n\n",
+              hottest->cpuCycles, hottest->cycles);
+
+  cayman::hls::TechLibrary tech = cayman::hls::TechLibrary::nangate45();
+  cayman::hls::Scheduler scheduler(tech, cayman::hls::InterfaceTiming{},
+                                   framework.options().accelClockNs);
+  std::fputs(
+      cayman::accel::emitAcceleratorRtl(*hottest, scheduler).c_str(),
+      stdout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Merge study: builds an application with several structurally similar
+// loops, selects accelerators for each, then shows how accelerator merging
+// folds them into reusable accelerators with shared reconfigurable
+// datapaths (paper §III-E / Fig. 5).
+//
+//   ./merge_study
+#include <cstdio>
+
+#include "cayman/framework.h"
+#include "ir/verifier.h"
+#include "workloads/kernel_builder.h"
+
+using namespace cayman;
+
+namespace {
+
+/// Four loops with overlapping operator sets: two multiply-accumulate
+/// variants, one scale, one saxpy — prime candidates for datapath sharing.
+std::unique_ptr<ir::Module> buildSimilarLoops() {
+  constexpr int64_t n = 128;
+  auto module = std::make_unique<ir::Module>("merge-study");
+  auto* a = module->addGlobal("a", ir::Type::f64(), n);
+  auto* b = module->addGlobal("b", ir::Type::f64(), n);
+  auto* c = module->addGlobal("c", ir::Type::f64(), n);
+  auto* d = module->addGlobal("d", ir::Type::f64(), n);
+  workloads::KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  {
+    ir::Value* i = kb.beginLoop(0, n, "mac1");
+    ir::Value* v = kb.ir().fadd(
+        kb.ir().fmul(kb.loadAt(a, i), kb.loadAt(b, i)), kb.loadAt(c, i));
+    kb.storeAt(c, i, v);
+    kb.endLoop();
+  }
+  {
+    ir::Value* i = kb.beginLoop(0, n, "mac2");
+    ir::Value* v = kb.ir().fadd(
+        kb.ir().fmul(kb.loadAt(c, i), kb.loadAt(d, i)), kb.loadAt(a, i));
+    kb.storeAt(d, i, v);
+    kb.endLoop();
+  }
+  {
+    ir::Value* i = kb.beginLoop(0, n, "scale");
+    kb.storeAt(b, i, kb.ir().fmul(kb.loadAt(b, i), kb.ir().f64(0.5)));
+    kb.endLoop();
+  }
+  {
+    ir::Value* i = kb.beginLoop(0, n, "saxpy");
+    ir::Value* v = kb.ir().fadd(
+        kb.ir().fmul(kb.loadAt(d, i), kb.ir().f64(2.0)), kb.loadAt(b, i));
+    kb.storeAt(a, i, v);
+    kb.endLoop();
+  }
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+  return module;
+}
+
+}  // namespace
+
+int main() {
+  Framework fw(buildSimilarLoops());
+
+  select::Solution best = fw.best(0.65);
+  std::printf("selected %zu accelerators (before merging):\n",
+              best.accelerators.size());
+  for (const auto& config : best.accelerators) {
+    std::printf("  %-30s area=%8.0f um2\n", config.region->label().c_str(),
+                config.areaUm2);
+  }
+
+  merge::MergeResult merged = fw.mergeSolution(best);
+  std::printf("\nmerging: %d pairwise steps\n", merged.mergeSteps);
+  std::printf("  area before: %8.0f um2\n", merged.areaBeforeUm2);
+  std::printf("  area after:  %8.0f um2  (%.1f%% saved)\n",
+              merged.areaAfterUm2, merged.savingPercent());
+  std::printf("  reusable accelerators: %d, serving %.1f kernels each on "
+              "average\n",
+              merged.reusableAccelerators, merged.avgKernelsPerReusable);
+  std::printf("\nperformance is unchanged: kernels run one at a time, so "
+              "sharing the datapath costs no cycles (speedup %.2fx before "
+              "and after).\n",
+              fw.speedupOf(best));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: run Cayman end-to-end on one benchmark.
+//
+//   ./quickstart [workload] [budget-ratio]
+//
+// Builds the workload's IR, profiles it on the simulated CVA6-class core,
+// runs candidate selection under the area budget, merges accelerators, and
+// prints the selected kernels with their configurations.
+#include <cstdio>
+#include <cstdlib>
+
+#include "cayman/framework.h"
+#include "workloads/workloads.h"
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "3mm";
+  double budget = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+  std::printf("Cayman quickstart: workload=%s budget=%.0f%% of a CVA6 tile\n",
+              name, budget * 100.0);
+
+  cayman::Framework framework(cayman::workloads::build(name));
+  std::printf("profiled %.0f CPU cycles (T_all)\n",
+              framework.totalCpuCycles());
+
+  cayman::select::Solution best = framework.best(budget);
+  std::printf("\nselected %zu kernel(s), area %.1f%% of tile:\n",
+              best.accelerators.size(),
+              100.0 * best.areaUm2 / framework.tech().cva6TileAreaUm2);
+  for (const auto& config : best.accelerators) {
+    std::printf("  %-40s  #SB=%u #PR=%u  C/D/S=%u/%u/%u  area=%.0fum2\n",
+                config.region->label().c_str(), config.numSeqBlocks,
+                config.numPipelinedRegions, config.numCoupled,
+                config.numDecoupled, config.numScratchpad, config.areaUm2);
+  }
+  std::printf("\nwhole-program speedup (Eq.1): %.2fx\n",
+              framework.speedupOf(best));
+
+  cayman::merge::MergeResult merged = framework.mergeSolution(best);
+  std::printf("accelerator merging: %.0f -> %.0f um2 (%.1f%% saved), "
+              "%d reusable accelerator(s)\n",
+              merged.areaBeforeUm2, merged.areaAfterUm2,
+              merged.savingPercent(), merged.reusableAccelerators);
+
+  cayman::EvaluationReport report = framework.evaluate(budget);
+  std::printf("\nversus baselines: NOVIA %.2fx, QsCores %.2fx -> Cayman is "
+              "%.1fx / %.1fx better\n",
+              report.noviaSpeedup, report.qscoresSpeedup, report.overNovia,
+              report.overQsCores);
+  return 0;
+}

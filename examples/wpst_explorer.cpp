@@ -1,0 +1,58 @@
+// wPST explorer: prints the whole-application program structure tree of a
+// workload, annotated with profile data and per-region accelerator
+// estimates — the representation candidate selection walks (paper Fig. 2).
+//
+//   ./wpst_explorer [workload]
+#include <cstdio>
+#include <string>
+
+#include "cayman/framework.h"
+#include "workloads/workloads.h"
+
+using namespace cayman;
+
+namespace {
+
+void printRegion(const Framework& fw, const analysis::Region& region,
+                 int depth) {
+  const sim::ProfileData& profile = fw.profile();
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  const char* kind = "";
+  switch (region.kind()) {
+    case analysis::RegionKind::Root: kind = "root"; break;
+    case analysis::RegionKind::Function: kind = "function"; break;
+    case analysis::RegionKind::Loop: kind = "loop"; break;
+    case analysis::RegionKind::If: kind = "if"; break;
+    case analysis::RegionKind::Bb: kind = "bb"; break;
+  }
+  std::printf("%s[%s] %-40s entries=%-8llu cycles=%-10.0f hot=%5.1f%%",
+              indent.c_str(), kind, region.label().c_str(),
+              static_cast<unsigned long long>(profile.entries(&region)),
+              profile.cycles(&region),
+              100.0 * profile.hotFraction(&region));
+  if (region.isCandidate()) {
+    auto configs = fw.model().generate(&region);
+    if (!configs.empty()) {
+      const auto& best = configs.back();
+      std::printf("  -> best config: %.0f accel-cycles, %.0f um2",
+                  best.cycles, best.areaUm2);
+    }
+  } else if (region.containsCall()) {
+    std::printf("  (not a candidate: contains a call)");
+  }
+  std::printf("\n");
+  for (const auto& child : region.children()) {
+    printRegion(fw, *child, depth + 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "cjpeg";
+  Framework fw(workloads::build(name));
+  std::printf("wPST of %s  (T_all = %.0f CPU cycles)\n\n", name,
+              fw.totalCpuCycles());
+  printRegion(fw, *fw.wpst().root(), 0);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Accelerator configurations: control-flow optimization decisions plus
+// data-access interface assignments, with estimated cost/benefit.
+#pragma once
+
+#include "analysis/regions.h"
+#include "hls/interface.h"
+
+namespace cayman::accel {
+
+/// Control-flow optimization for one loop inside a candidate kernel.
+struct LoopConfig {
+  const analysis::Loop* loop = nullptr;
+  unsigned unroll = 1;
+  bool pipelined = false;
+};
+
+/// One synthesizable accelerator: a candidate kernel region plus its
+/// configuration and the model's estimates.
+struct AcceleratorConfig {
+  const analysis::Region* region = nullptr;
+  std::vector<LoopConfig> loops;
+  hls::IfaceAssignment ifaces;
+
+  // --- Estimates (filled by AcceleratorModel) -----------------------------
+  /// Accelerator cycles across the whole application run (contribution to
+  /// Cycle_cand in Eq. 1).
+  double cycles = 0.0;
+  /// Cycles the CPU spent in this kernel (contribution to T_cand).
+  double cpuCycles = 0.0;
+  double areaUm2 = 0.0;
+
+  // --- Table II bookkeeping -------------------------------------------------
+  unsigned numSeqBlocks = 0;         ///< #SB
+  unsigned numPipelinedRegions = 0;  ///< #PR
+  unsigned numCoupled = 0;           ///< #C
+  unsigned numDecoupled = 0;         ///< #D
+  unsigned numScratchpad = 0;        ///< #S
+
+  const LoopConfig* configFor(const analysis::Loop* loop) const {
+    for (const LoopConfig& lc : loops) {
+      if (lc.loop == loop) return &lc;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace cayman::accel

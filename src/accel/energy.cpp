@@ -1,0 +1,54 @@
+#include "accel/energy.h"
+
+namespace cayman::accel {
+
+EnergyReport EnergyModel::estimate(const select::Solution& solution,
+                                   double totalCpuCycles) const {
+  EnergyReport report;
+
+  // CPU side: time spent in the selected kernels times core power.
+  double cpuSeconds = solution.cpuCycles * params_.cpuClockNs * 1e-9;
+  report.cpuEnergyUj = params_.cpuPowerMw * 1e-3 * cpuSeconds * 1e6;
+
+  // Accelerator side: dynamic energy proportional to executed work, plus
+  // leakage over the time the accelerators are active.
+  double dynamicPj = 0.0;
+  for (const AcceleratorConfig& config : solution.accelerators) {
+    // Executed operations: approximate via profiled block counts of the
+    // region's blocks (each non-phi op executes once per block execution).
+    const sim::ProfileData& profile = model_.profile();
+    for (const ir::BasicBlock* block : config.region->blocks()) {
+      double execs = static_cast<double>(profile.blockCount(block));
+      double ops = 0.0;
+      double accesses = 0.0;
+      for (const auto& inst : block->instructions()) {
+        if (inst->opcode() == ir::Opcode::Phi || inst->isTerminator()) {
+          continue;
+        }
+        if (inst->isMemoryAccess()) {
+          accesses += 1.0;
+        } else {
+          ops += 1.0;
+        }
+      }
+      dynamicPj += execs * (ops * params_.opEnergyPj +
+                            accesses * params_.accessEnergyPj);
+    }
+  }
+
+  double accelSeconds = solution.accelCycles * params_.accelClockNs * 1e-9;
+  double areaMm2 = solution.areaUm2 * 1e-6;
+  double activeLeakageUj =
+      params_.leakageMwPerMm2 * areaMm2 * 1e-3 * accelSeconds * 1e6;
+  report.accelEnergyUj = dynamicPj * 1e-6 + activeLeakageUj;
+
+  // Idle leakage: the accelerator area leaks for the remainder of the run.
+  double restCycles = totalCpuCycles - solution.cpuCycles;
+  double restSeconds =
+      (restCycles > 0 ? restCycles : 0.0) * params_.cpuClockNs * 1e-9;
+  report.idleLeakageUj =
+      params_.leakageMwPerMm2 * areaMm2 * 1e-3 * restSeconds * 1e6;
+  return report;
+}
+
+}  // namespace cayman::accel

@@ -1,0 +1,64 @@
+// Energy model (extension): estimates the energy consumed by a selection
+// solution versus running the same regions on the CPU.
+//
+// The paper's related work (conservation cores / QsCores [22], [23]) frames
+// off-core accelerators as an *energy* play; the paper itself optimizes
+// performance under area budgets. This extension closes the loop: given a
+// solution, estimate dynamic + leakage energy on the accelerator and the
+// CPU energy it displaces.
+#pragma once
+
+#include "accel/model.h"
+#include "select/solution.h"
+
+namespace cayman::accel {
+
+struct EnergyParams {
+  /// CPU core power when busy (a CVA6-class in-order core at 45nm).
+  double cpuPowerMw = 180.0;
+  /// CPU clock period (ns) converting profiled cycles into time.
+  double cpuClockNs = 1.6;
+  /// Accelerator clock period (ns).
+  double accelClockNs = 2.0;
+  /// Dynamic energy per datapath operation (pJ, averaged across op mix).
+  double opEnergyPj = 3.2;
+  /// Dynamic energy per memory access through an interface (pJ).
+  double accessEnergyPj = 12.0;
+  /// Leakage power density of accelerator logic (mW per mm^2).
+  double leakageMwPerMm2 = 45.0;
+};
+
+struct EnergyReport {
+  /// Energy the selected kernels would burn on the CPU (uJ per run).
+  double cpuEnergyUj = 0.0;
+  /// Accelerator energy for the same work (uJ per run): dynamic + leakage
+  /// while running.
+  double accelEnergyUj = 0.0;
+  /// Idle leakage of the accelerator area over the rest of the run (uJ).
+  double idleLeakageUj = 0.0;
+
+  double totalAccelUj() const { return accelEnergyUj + idleLeakageUj; }
+  /// Energy-reduction factor for the offloaded work.
+  double savingsFactor() const {
+    double total = totalAccelUj();
+    return total <= 0.0 ? 1.0 : cpuEnergyUj / total;
+  }
+};
+
+class EnergyModel {
+ public:
+  EnergyModel(const AcceleratorModel& model, EnergyParams params = {})
+      : model_(model), params_(params) {}
+
+  const EnergyParams& params() const { return params_; }
+
+  /// Energy accounting for one solution over one profiled application run.
+  EnergyReport estimate(const select::Solution& solution,
+                        double totalCpuCycles) const;
+
+ private:
+  const AcceleratorModel& model_;
+  EnergyParams params_;
+};
+
+}  // namespace cayman::accel

@@ -1,0 +1,443 @@
+#include "accel/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace cayman::accel {
+
+using analysis::Loop;
+using analysis::Region;
+using analysis::RegionKind;
+
+AcceleratorModel::AcceleratorModel(const analysis::WPst& wpst,
+                                   const sim::ProfileData& profile,
+                                   const hls::TechLibrary& tech,
+                                   hls::InterfaceTiming timing,
+                                   ModelParams params)
+    : wpst_(wpst),
+      profile_(profile),
+      tech_(tech),
+      scheduler_(tech, timing, params.clockNs),
+      params_(std::move(params)) {
+  for (const auto& function : wpst.module().functions()) {
+    analyses_.emplace(function.get(),
+                      std::make_unique<KernelAnalyses>(
+                          *function, wpst.analyses(function.get())));
+  }
+}
+
+const KernelAnalyses& AcceleratorModel::analysesFor(
+    const ir::Function* function) const {
+  return *analyses_.at(function);
+}
+
+double AcceleratorModel::tripCount(const Loop* loop) const {
+  const KernelAnalyses& ka = analysesFor(loop->header()->parent());
+  analysis::TripCount staticTrip = ka.scev.tripCount(loop);
+  if (staticTrip.known) return static_cast<double>(staticTrip.value);
+  double profiled = profile_.avgTripCount(loop);
+  if (profiled > 0.0) return profiled;
+  return static_cast<double>(params_.unknownTripFallback);
+}
+
+bool AcceleratorModel::isPipelineable(const Region* loopRegion) const {
+  if (loopRegion->kind() != RegionKind::Loop) return false;
+  if (!loopRegion->loop()->isInnermost()) return false;
+  // Canonical shape: exactly bb children (header, single body, latch) —
+  // no nested ctrl-flow, which would need predication we do not model.
+  unsigned bodyBlocks = 0;
+  for (const auto& child : loopRegion->children()) {
+    if (!child->isBb()) return false;
+    const ir::BasicBlock* block = child->block();
+    if (block == loopRegion->loop()->header() ||
+        block == loopRegion->loop()->latch()) {
+      continue;
+    }
+    ++bodyBlocks;
+  }
+  return bodyBlocks == 1;
+}
+
+bool AcceleratorModel::canUnroll(const Loop* loop,
+                                 const KernelAnalyses& ka) const {
+  // Unrolling is legal for dependence-free loops, and for reductions —
+  // scalar accumulators and loop-invariant memory accumulators unroll into
+  // per-lane partial sums combined after the loop (HLS tree reduction).
+  for (const analysis::LoopCarriedDep& dep : ka.mem.carriedDeps(loop)) {
+    if (dep.kind == analysis::LoopCarriedDep::Kind::Scalar) continue;
+    const analysis::MemAccessInfo* info = ka.mem.infoFor(dep.src);
+    if (info != nullptr && info->addr.valid &&
+        info->addr.offset.isStreamIn(loop) &&
+        info->addr.offset.coeffForLoop(loop) == 0) {
+      continue;  // accumulation into a fixed location
+    }
+    return false;  // genuine cross-iteration data flow (e.g. a[i+1] = a[i])
+  }
+  return true;
+}
+
+/// Can this access live in a register while `loop` runs? Requires a fixed,
+/// statically-known address and that every same-array access inside the
+/// loop hits that same address (no aliasing partner to forward through
+/// memory).
+bool AcceleratorModel::isPromotable(const ir::Instruction* access,
+                                    const Loop* loop,
+                                    const KernelAnalyses& ka) const {
+  const analysis::MemAccessInfo* info = ka.mem.infoFor(access);
+  if (info == nullptr || !info->addr.valid) return false;
+  const analysis::Affine& addr = info->addr.offset;
+  if (!addr.isStreamIn(loop) || addr.coeffForLoop(loop) != 0) return false;
+  for (const analysis::MemAccessInfo& other : ka.mem.accesses()) {
+    if (other.inst == access) continue;
+    if (!loop->contains(other.inst->parent())) continue;
+    if (!other.addr.valid) return false;  // may alias anything
+    if (other.addr.base != info->addr.base) continue;
+    if (other.addr.offset.terms != addr.terms ||
+        other.addr.offset.constant != addr.constant) {
+      return false;  // same array, different location: keep memory ordering
+    }
+  }
+  return true;
+}
+
+std::vector<LoopConfig> AcceleratorModel::makeLoopConfigs(
+    const Region* region, unsigned unroll, bool optimize) const {
+  std::vector<LoopConfig> configs;
+  const KernelAnalyses& ka = analysesFor(region->function());
+  region->walk([&](const Region& r) {
+    if (r.kind() != RegionKind::Loop) return;
+    LoopConfig lc;
+    lc.loop = r.loop();
+    if (optimize) {
+      bool pipelineable = isPipelineable(&r);
+      lc.unroll = (params_.allowUnrolling && pipelineable &&
+                   canUnroll(r.loop(), ka))
+                      ? unroll
+                      : 1;
+      lc.pipelined = params_.allowPipelining && pipelineable;
+    }
+    configs.push_back(lc);
+  });
+  return configs;
+}
+
+hls::IfaceAssignment AcceleratorModel::assignInterfaces(
+    const Region* region, const std::vector<LoopConfig>& loops) const {
+  hls::IfaceAssignment assignment;
+  const KernelAnalyses& ka = analysesFor(region->function());
+  const analysis::FunctionAnalyses& fa = wpst_.analyses(region->function());
+  uint64_t entries = std::max<uint64_t>(1, profile_.entries(region));
+
+  auto loopConfig = [&](const Loop* loop) -> const LoopConfig* {
+    for (const LoopConfig& lc : loops) {
+      if (lc.loop == loop) return &lc;
+    }
+    return nullptr;
+  };
+
+  for (const ir::BasicBlock* block : region->blocks()) {
+    for (const auto& inst : block->instructions()) {
+      if (!inst->isMemoryAccess()) continue;
+      const analysis::MemAccessInfo* info = ka.mem.infoFor(inst.get());
+      hls::AccessIface iface;
+      iface.kind = hls::IfaceKind::Coupled;
+      iface.array = info != nullptr && info->addr.valid ? info->addr.base
+                                                        : nullptr;
+
+      double countPerEntry =
+          static_cast<double>(profile_.blockCount(block)) /
+          static_cast<double>(entries);
+      const Loop* inLoop = fa.loops.loopFor(block);
+      const LoopConfig* lc =
+          inLoop != nullptr ? loopConfig(inLoop) : nullptr;
+
+      // Register promotion inside pipelined loops: a loop-invariant scalar
+      // slot is held in a register; the load/store bracket the loop.
+      if (lc != nullptr && lc->pipelined && inLoop != nullptr &&
+          isPromotable(inst.get(), inLoop, ka)) {
+        iface.promoted = true;
+        assignment[inst.get()] = iface;
+        continue;
+      }
+
+      // Scratchpad rule: per-entry access count >= beta * footprint, with a
+      // statically-sized footprint (paper: "requires statically analyzed
+      // footprints to determine the scratchpad size").
+      std::optional<uint64_t> footprint = ka.mem.footprintElems(
+          inst.get(), region, params_.unknownTripFallback);
+      if (params_.allowScratchpad && footprint.has_value() &&
+          iface.array != nullptr && *footprint > 0) {
+        uint64_t footprintBytes =
+            *footprint * iface.array->elemType()->sizeBytes();
+        if (countPerEntry >= params_.beta * static_cast<double>(*footprint) &&
+            footprintBytes <= params_.maxScratchpadBytes) {
+          iface.kind = hls::IfaceKind::Scratchpad;
+          iface.footprintBytes = footprintBytes;
+          iface.partitions = lc != nullptr ? std::max(1u, lc->unroll) : 1;
+          assignment[inst.get()] = iface;
+          continue;
+        }
+      }
+
+      // Decoupled rule: stream accesses inside pipelined loops reach II=1.
+      if (params_.allowDecoupled && lc != nullptr && lc->pipelined &&
+          inLoop != nullptr && ka.mem.isStream(inst.get(), inLoop)) {
+        iface.kind = hls::IfaceKind::Decoupled;
+        assignment[inst.get()] = iface;
+        continue;
+      }
+
+      assignment[inst.get()] = iface;  // coupled fallback (area saving)
+    }
+  }
+  return assignment;
+}
+
+std::vector<AcceleratorConfig> AcceleratorModel::generate(
+    const Region* region) const {
+  std::vector<AcceleratorConfig> result;
+  if (!region->isCandidate()) return result;
+  // Regions that never executed cannot gain anything.
+  if (profile_.cycles(region) <= 0.0) return result;
+
+  auto makeConfig = [&](unsigned unroll, bool optimize) {
+    AcceleratorConfig config;
+    config.region = region;
+    config.loops = makeLoopConfigs(region, unroll, optimize);
+    config.ifaces = assignInterfaces(region, config.loops);
+    estimate(config);
+    return config;
+  };
+
+  // Cheapest point: fully sequential, interface heuristic still applies the
+  // beta rule but nothing is pipelined (so no decoupled interfaces).
+  result.push_back(makeConfig(1, /*optimize=*/false));
+
+  bool hasLoops = false;
+  region->walk([&](const Region& r) {
+    hasLoops |= r.kind() == RegionKind::Loop;
+  });
+  if (hasLoops && (params_.allowPipelining || params_.allowUnrolling)) {
+    if (params_.allowUnrolling) {
+      for (unsigned unroll : params_.unrollFactors) {
+        result.push_back(makeConfig(unroll, /*optimize=*/true));
+      }
+    } else {
+      result.push_back(makeConfig(1, /*optimize=*/true));
+    }
+  }
+
+  // Drop dominated duplicates (same cycles and area).
+  std::sort(result.begin(), result.end(),
+            [](const AcceleratorConfig& a, const AcceleratorConfig& b) {
+              return a.areaUm2 < b.areaUm2;
+            });
+  std::vector<AcceleratorConfig> unique;
+  for (AcceleratorConfig& config : result) {
+    if (!unique.empty() &&
+        std::abs(unique.back().areaUm2 - config.areaUm2) < 1e-9 &&
+        std::abs(unique.back().cycles - config.cycles) < 1e-9) {
+      continue;
+    }
+    unique.push_back(std::move(config));
+  }
+  return unique;
+}
+
+AcceleratorModel::Estimate AcceleratorModel::estimateRegion(
+    const Region* region, const AcceleratorConfig& config,
+    unsigned unrollContext) const {
+  Estimate e;
+  const KernelAnalyses& ka = analysesFor(region->function());
+
+  switch (region->kind()) {
+    case RegionKind::Bb: {
+      const ir::BasicBlock* block = region->block();
+      double execs = std::ceil(
+          static_cast<double>(profile_.blockCount(block)) /
+          static_cast<double>(unrollContext));
+      hls::BlockSchedule sched =
+          scheduler_.scheduleBlock(*block, config.ifaces, unrollContext);
+      e.cycles = execs * static_cast<double>(sched.latency);
+      e.area = sched.opAreaUm2 + sched.regAreaUm2 +
+               tech_.fsmAreaPerState * sched.latency;
+      e.seqBlocks = 1;
+      return e;
+    }
+
+    case RegionKind::Loop: {
+      const Loop* loop = region->loop();
+      const LoopConfig* lc = config.configFor(loop);
+      unsigned unroll = lc != nullptr ? std::max(1u, lc->unroll) : 1;
+      bool pipelined = lc != nullptr && lc->pipelined;
+      double entries =
+          std::max<double>(1.0, static_cast<double>(profile_.entries(region)));
+      double trip = tripCount(loop);
+      double iterations = std::ceil(trip / static_cast<double>(unroll));
+
+      if (pipelined) {
+        // Single straight-line body block by construction.
+        const ir::BasicBlock* body = nullptr;
+        for (const auto& child : region->children()) {
+          const ir::BasicBlock* block = child->block();
+          if (block != loop->header() && block != loop->latch()) body = block;
+        }
+        CAYMAN_ASSERT(body != nullptr, "pipelined loop without body block");
+        unsigned width = unroll * unrollContext;
+        hls::BlockSchedule sched =
+            scheduler_.scheduleBlock(*body, config.ifaces, width);
+        unsigned depth = sched.latency + 1;  // +1: IV/exit-condition stage
+        unsigned ii = std::max(
+            scheduler_.recMII(ka.mem.carriedDeps(loop), config.ifaces),
+            scheduler_.resMII(*body, config.ifaces, width));
+        double perEntry =
+            static_cast<double>(hls::Scheduler::pipelinedCycles(
+                static_cast<uint64_t>(iterations), depth, ii)) +
+            2.0;  // start / drain control
+        // Register-promoted accesses bracket the loop: load the cells before
+        // the first iteration, write accumulators back after the last.
+        for (const auto& inst : body->instructions()) {
+          if (!inst->isMemoryAccess()) continue;
+          auto it = config.ifaces.find(inst.get());
+          if (it == config.ifaces.end() || !it->second.promoted) continue;
+          perEntry += inst->opcode() == ir::Opcode::Load
+                          ? scheduler_.timing().coupledLoadLatency
+                          : scheduler_.timing().coupledStoreLatency;
+        }
+        // Unrolled reductions combine partial sums in a tree after the loop.
+        for (unsigned lanes = width; lanes > 1; lanes /= 2) {
+          perEntry += 3.0;  // one FP-add level
+        }
+        e.cycles = entries * perEntry;
+        e.area = sched.opAreaUm2 + sched.regAreaUm2 +
+                 tech_.fsmAreaPerState * 4;  // pipeline controller
+        e.pipelined = 1;
+        return e;
+      }
+
+      // Sequential loop: children estimated against profiled counts, plus
+      // per-entry enter/exit control.
+      for (const auto& child : region->children()) {
+        Estimate ce =
+            estimateRegion(child.get(), config, unrollContext * unroll);
+        e.cycles += ce.cycles;
+        e.area += ce.area;
+        e.seqBlocks += ce.seqBlocks;
+        e.pipelined += ce.pipelined;
+      }
+      e.cycles += entries * 2.0;
+      e.area += tech_.fsmAreaPerState * 2;  // loop control states
+      return e;
+    }
+
+    case RegionKind::If: {
+      for (const auto& child : region->children()) {
+        Estimate ce = estimateRegion(child.get(), config, unrollContext);
+        e.cycles += ce.cycles;
+        e.area += ce.area;
+        e.seqBlocks += ce.seqBlocks;
+        e.pipelined += ce.pipelined;
+      }
+      // Branch decision folds into the FSM (one extra state).
+      e.area += tech_.fsmAreaPerState;
+      return e;
+    }
+
+    case RegionKind::Function:
+    case RegionKind::Root:
+      CAYMAN_ASSERT(false, "estimateRegion on non-candidate region");
+  }
+  return e;
+}
+
+double AcceleratorModel::interfaceArea(const AcceleratorConfig& config) const {
+  double area = 0.0;
+  std::set<const ir::GlobalArray*> scratchArrays;
+  for (const auto& [inst, iface] : config.ifaces) {
+    if (iface.promoted) {
+      // One 64-bit holding register; the bracketing access reuses the
+      // loop's control FSM.
+      area += tech_.registerAreaPerBit * 64;
+      continue;
+    }
+    switch (iface.kind) {
+      case hls::IfaceKind::Coupled:
+        area += tech_.lsuArea;
+        break;
+      case hls::IfaceKind::Decoupled: {
+        unsigned elemBytes = 8;
+        if (inst->opcode() == ir::Opcode::Load) {
+          elemBytes = inst->type()->sizeBytes();
+        } else if (inst->numOperands() > 0) {
+          elemBytes = inst->operand(0)->type()->sizeBytes();
+        }
+        area += tech_.aguArea +
+                tech_.fifoAreaPerByte *
+                    scheduler_.timing().fifoDepthElems * elemBytes;
+        break;
+      }
+      case hls::IfaceKind::Scratchpad: {
+        // Buffer + DMA costed once per backing array; banking per access.
+        if (iface.array != nullptr &&
+            scratchArrays.insert(iface.array).second) {
+          area += tech_.scratchpadAreaPerByte *
+                      static_cast<double>(iface.footprintBytes) +
+                  tech_.dmaEngineArea;
+        }
+        area += tech_.scratchpadPortArea * iface.partitions;
+        break;
+      }
+    }
+  }
+  return area;
+}
+
+double AcceleratorModel::dmaCyclesPerEntry(
+    const AcceleratorConfig& config) const {
+  // Fill before execution for read arrays, drain after for written arrays.
+  std::map<const ir::GlobalArray*, std::pair<bool, bool>> arrays;  // rd, wr
+  std::map<const ir::GlobalArray*, uint64_t> bytes;
+  for (const auto& [inst, iface] : config.ifaces) {
+    if (iface.kind != hls::IfaceKind::Scratchpad || iface.array == nullptr) {
+      continue;
+    }
+    auto& [rd, wr] = arrays[iface.array];
+    rd |= inst->opcode() == ir::Opcode::Load;
+    wr |= inst->opcode() == ir::Opcode::Store;
+    bytes[iface.array] = std::max(bytes[iface.array], iface.footprintBytes);
+  }
+  double cycles = 0.0;
+  for (const auto& [array, dirs] : arrays) {
+    double transfer = std::ceil(
+        static_cast<double>(bytes[array]) /
+        static_cast<double>(scheduler_.timing().dmaBytesPerCycle));
+    if (dirs.first) cycles += transfer;
+    if (dirs.second) cycles += transfer;
+  }
+  return cycles;
+}
+
+void AcceleratorModel::estimate(AcceleratorConfig& config) const {
+  CAYMAN_ASSERT(config.region != nullptr, "config without region");
+  Estimate e = estimateRegion(config.region, config, 1);
+  double entries = static_cast<double>(profile_.entries(config.region));
+  config.cycles = e.cycles + entries * dmaCyclesPerEntry(config);
+  config.cpuCycles = profile_.cycles(config.region);
+  config.areaUm2 =
+      e.area + interfaceArea(config) + tech_.acceleratorWrapperArea;
+  config.numSeqBlocks = e.seqBlocks;
+  config.numPipelinedRegions = e.pipelined;
+  config.numCoupled = config.numDecoupled = config.numScratchpad = 0;
+  for (const auto& [inst, iface] : config.ifaces) {
+    (void)inst;
+    if (iface.promoted) continue;  // register-held, no interface hardware
+    switch (iface.kind) {
+      case hls::IfaceKind::Coupled: ++config.numCoupled; break;
+      case hls::IfaceKind::Decoupled: ++config.numDecoupled; break;
+      case hls::IfaceKind::Scratchpad: ++config.numScratchpad; break;
+    }
+  }
+}
+
+}  // namespace cayman::accel

@@ -1,0 +1,105 @@
+// Cayman's accelerator model (paper §III-C): generates candidate
+// configurations for a kernel region — control-flow optimization (unrolling,
+// pipelining) plus per-access interface specialization — and estimates each
+// configuration's cycle count and area without synthesizing full hardware.
+#pragma once
+
+#include <memory>
+
+#include "accel/config.h"
+#include "hls/scheduler.h"
+#include "sim/profiler.h"
+
+namespace cayman::accel {
+
+struct ModelParams {
+  /// Target clock (2 ns = the paper's 500 MHz).
+  double clockNs = 2.0;
+  /// Scratchpad threshold β: cache an access when its per-entry count is at
+  /// least β times its footprint (paper §III-C).
+  double beta = 4.0;
+  /// Unroll factors explored for dependence-free innermost loops.
+  std::vector<unsigned> unrollFactors = {1, 2, 4, 8, 16};
+  /// Largest scratchpad buffer worth allocating (bytes).
+  uint64_t maxScratchpadBytes = 1u << 15;
+  /// Ablation switches (coupled-only Cayman in Fig. 6 disables the first
+  /// two; the QsCores-like baseline additionally disables control-flow
+  /// optimization).
+  bool allowDecoupled = true;
+  bool allowScratchpad = true;
+  bool allowPipelining = true;
+  bool allowUnrolling = true;
+  /// Substituted trip count when neither SCEV nor the profile knows one.
+  uint64_t unknownTripFallback = 16;
+};
+
+/// Per-function analysis bundle the model consumes.
+struct KernelAnalyses {
+  KernelAnalyses(const ir::Function& function,
+                 const analysis::FunctionAnalyses& fa)
+      : scev(function, fa), mem(function, fa, scev) {}
+
+  analysis::ScalarEvolution scev;
+  analysis::MemoryAnalysis mem;
+};
+
+class AcceleratorModel {
+ public:
+  AcceleratorModel(const analysis::WPst& wpst, const sim::ProfileData& profile,
+                   const hls::TechLibrary& tech, hls::InterfaceTiming timing,
+                   ModelParams params = {});
+
+  const ModelParams& params() const { return params_; }
+  const hls::TechLibrary& tech() const { return tech_; }
+  const analysis::WPst& wpst() const { return wpst_; }
+  const sim::ProfileData& profile() const { return profile_; }
+
+  /// accel(v, R): candidate configurations for one kernel region, cheapest
+  /// first. Empty when the region is not a legal/profitable candidate.
+  std::vector<AcceleratorConfig> generate(const analysis::Region* region) const;
+
+  /// Re-estimates (cycles, area, counters) for a fully-specified config.
+  void estimate(AcceleratorConfig& config) const;
+
+  /// Analyses for the function owning `region`.
+  const KernelAnalyses& analysesFor(const ir::Function* function) const;
+
+  /// Effective trip count of a loop (static, else profiled, else fallback).
+  double tripCount(const analysis::Loop* loop) const;
+
+  /// True when the loop region has the canonical pipelineable shape:
+  /// innermost, straight-line single body block.
+  bool isPipelineable(const analysis::Region* loopRegion) const;
+
+ private:
+  struct Estimate {
+    double cycles = 0.0;  ///< whole-run cycles
+    double area = 0.0;
+    unsigned seqBlocks = 0;
+    unsigned pipelined = 0;
+  };
+
+  Estimate estimateRegion(const analysis::Region* region,
+                          const AcceleratorConfig& config,
+                          unsigned unrollContext) const;
+  bool canUnroll(const analysis::Loop* loop, const KernelAnalyses& ka) const;
+  bool isPromotable(const ir::Instruction* access, const analysis::Loop* loop,
+                    const KernelAnalyses& ka) const;
+  double interfaceArea(const AcceleratorConfig& config) const;
+  double dmaCyclesPerEntry(const AcceleratorConfig& config) const;
+  hls::IfaceAssignment assignInterfaces(
+      const analysis::Region* region,
+      const std::vector<LoopConfig>& loops) const;
+  std::vector<LoopConfig> makeLoopConfigs(const analysis::Region* region,
+                                          unsigned unroll,
+                                          bool optimize) const;
+
+  const analysis::WPst& wpst_;
+  const sim::ProfileData& profile_;
+  const hls::TechLibrary& tech_;
+  hls::Scheduler scheduler_;
+  ModelParams params_;
+  std::map<const ir::Function*, std::unique_ptr<KernelAnalyses>> analyses_;
+};
+
+}  // namespace cayman::accel

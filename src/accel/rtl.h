@@ -1,0 +1,38 @@
+// RTL backend: lowers a scheduled accelerator configuration to a
+// synthesizable Verilog module — an FSM per control step plus a datapath
+// with one operator instance per IR operation, and interface ports per the
+// configured access interfaces (paper §III-F synthesizes selected kernels
+// into complete hardware; this emitter is that last-mile step on our
+// substrate).
+#pragma once
+
+#include <string>
+
+#include "accel/config.h"
+#include "hls/scheduler.h"
+
+namespace cayman::accel {
+
+struct RtlOptions {
+  /// Module name; defaults to a sanitized region label.
+  std::string moduleName;
+  /// Emit per-state commentary (useful when eyeballing the FSM).
+  bool comments = true;
+};
+
+/// Emits Verilog for one accelerator. The generated module has:
+///   - clk / rst_n / start / done control handshake,
+///   - one coupled memory port (req/addr/wdata/rdata/ack) when any access
+///     is coupled,
+///   - stream in/out ports per decoupled access (FIFO handshakes),
+///   - scratchpad ports per scratchpad-backed array (bank address/data),
+///   - an FSM sequencing the scheduled basic blocks,
+///   - registered results for every multi-cycle operation.
+std::string emitAcceleratorRtl(const AcceleratorConfig& config,
+                               const hls::Scheduler& scheduler,
+                               RtlOptions options = {});
+
+/// Sanitizes an arbitrary label into a Verilog identifier.
+std::string sanitizeIdentifier(const std::string& label);
+
+}  // namespace cayman::accel

@@ -1,0 +1,49 @@
+// Basic CFG utilities: predecessor lists and reverse post-order.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace cayman::analysis {
+
+/// Predecessors / orderings computed once per function and shared by the
+/// dominator, loop, and region analyses.
+class Cfg {
+ public:
+  explicit Cfg(const ir::Function& function);
+
+  const ir::Function& function() const { return function_; }
+
+  const std::vector<const ir::BasicBlock*>& predecessors(
+      const ir::BasicBlock* block) const;
+  std::vector<const ir::BasicBlock*> successors(
+      const ir::BasicBlock* block) const {
+    auto succs = block->successors();
+    return {succs.begin(), succs.end()};
+  }
+
+  /// Reverse post-order over reachable blocks, entry first.
+  const std::vector<const ir::BasicBlock*>& rpo() const { return rpo_; }
+  /// Position of a block in rpo(); -1 for unreachable blocks.
+  int rpoIndex(const ir::BasicBlock* block) const;
+  bool isReachable(const ir::BasicBlock* block) const {
+    return rpoIndex(block) >= 0;
+  }
+
+  /// Blocks whose terminator is Ret.
+  const std::vector<const ir::BasicBlock*>& exitBlocks() const {
+    return exits_;
+  }
+
+ private:
+  const ir::Function& function_;
+  std::map<const ir::BasicBlock*, std::vector<const ir::BasicBlock*>> preds_;
+  std::vector<const ir::BasicBlock*> rpo_;
+  std::map<const ir::BasicBlock*, int> rpoIndex_;
+  std::vector<const ir::BasicBlock*> exits_;
+  std::vector<const ir::BasicBlock*> empty_;
+};
+
+}  // namespace cayman::analysis

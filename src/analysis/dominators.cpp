@@ -1,0 +1,169 @@
+#include "analysis/dominators.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace cayman::analysis {
+
+namespace {
+
+/// Generic CHK solver over an abstract graph given by ordered nodes (root
+/// first in "rpo"), and a predecessor functor.
+std::map<const ir::BasicBlock*, const ir::BasicBlock*> solve(
+    const std::vector<const ir::BasicBlock*>& order,
+    const std::function<std::vector<const ir::BasicBlock*>(
+        const ir::BasicBlock*)>& preds) {
+  std::map<const ir::BasicBlock*, int> index;
+  for (size_t i = 0; i < order.size(); ++i) {
+    index[order[i]] = static_cast<int>(i);
+  }
+
+  std::vector<int> idom(order.size(), -1);
+  if (!order.empty()) idom[0] = 0;
+
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (a > b) a = idom[static_cast<size_t>(a)];
+      while (b > a) b = idom[static_cast<size_t>(b)];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 1; i < order.size(); ++i) {
+      int newIdom = -1;
+      for (const ir::BasicBlock* pred : preds(order[i])) {
+        auto it = index.find(pred);
+        if (it == index.end()) continue;  // unreachable predecessor
+        int p = it->second;
+        if (idom[static_cast<size_t>(p)] < 0) continue;
+        newIdom = newIdom < 0 ? p : intersect(newIdom, p);
+      }
+      if (newIdom >= 0 && idom[i] != newIdom) {
+        idom[i] = newIdom;
+        changed = true;
+      }
+    }
+  }
+
+  std::map<const ir::BasicBlock*, const ir::BasicBlock*> result;
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (idom[i] >= 0) result[order[i]] = order[static_cast<size_t>(idom[i])];
+  }
+  if (!order.empty()) result[order[0]] = nullptr;
+  return result;
+}
+
+}  // namespace
+
+DominatorTree DominatorTree::dominators(const Cfg& cfg) {
+  DominatorTree tree;
+  tree.idom_ = solve(cfg.rpo(), [&cfg](const ir::BasicBlock* b) {
+    return cfg.predecessors(b);
+  });
+  tree.computeIntervals();
+  return tree;
+}
+
+DominatorTree DominatorTree::postDominators(const Cfg& cfg) {
+  // Build order: post-order of the forward CFG approximates an RPO of the
+  // reverse CFG. We instead run a reverse DFS from the exits.
+  // Virtual exit handling: treat all Ret blocks as roots.
+  std::vector<const ir::BasicBlock*> order;
+  std::map<const ir::BasicBlock*, bool> visited;
+  // Iterative DFS on reversed edges.
+  std::vector<std::pair<const ir::BasicBlock*, size_t>> stack;
+  for (const ir::BasicBlock* exit : cfg.exitBlocks()) {
+    if (visited[exit]) continue;
+    stack.emplace_back(exit, 0);
+    visited[exit] = true;
+    std::vector<const ir::BasicBlock*> postOrder;
+    while (!stack.empty()) {
+      auto& [block, next] = stack.back();
+      const auto& preds = cfg.predecessors(block);
+      if (next < preds.size()) {
+        const ir::BasicBlock* pred = preds[next++];
+        if (!visited[pred]) {
+          visited[pred] = true;
+          stack.emplace_back(pred, 0);
+        }
+      } else {
+        postOrder.push_back(block);
+        stack.pop_back();
+      }
+    }
+    order.insert(order.end(), postOrder.rbegin(), postOrder.rend());
+  }
+
+  DominatorTree tree;
+  if (cfg.exitBlocks().size() == 1) {
+    tree.idom_ = solve(order, [&cfg](const ir::BasicBlock* b) {
+      auto succs = b->successors();
+      return std::vector<const ir::BasicBlock*>(succs.begin(), succs.end());
+    });
+  } else {
+    // Multiple exits: prepend a virtual root. We emulate it by solving with
+    // each exit as an initialized root; the CHK loop needs a single root, so
+    // we instead solve on an augmented order where exits' idom stays null.
+    // Simpler and adequate here: solve per the first exit and mark the other
+    // exits as roots too (their ipdom is the virtual exit = nullptr).
+    tree.idom_ = solve(order, [&cfg](const ir::BasicBlock* b) {
+      auto succs = b->successors();
+      return std::vector<const ir::BasicBlock*>(succs.begin(), succs.end());
+    });
+    for (const ir::BasicBlock* exit : cfg.exitBlocks()) {
+      tree.idom_[exit] = nullptr;
+    }
+  }
+  tree.computeIntervals();
+  return tree;
+}
+
+const ir::BasicBlock* DominatorTree::idom(const ir::BasicBlock* block) const {
+  auto it = idom_.find(block);
+  return it == idom_.end() ? nullptr : it->second;
+}
+
+void DominatorTree::computeIntervals() {
+  std::map<const ir::BasicBlock*, std::vector<const ir::BasicBlock*>> children;
+  std::vector<const ir::BasicBlock*> roots;
+  for (const auto& [block, parent] : idom_) {
+    if (parent == nullptr) {
+      roots.push_back(block);
+    } else {
+      children[parent].push_back(block);
+    }
+  }
+  int clock = 0;
+  // Iterative Euler tour assigning [in, out] intervals.
+  for (const ir::BasicBlock* root : roots) {
+    std::vector<std::pair<const ir::BasicBlock*, size_t>> stack{{root, 0}};
+    interval_[root].first = clock++;
+    while (!stack.empty()) {
+      auto& [block, next] = stack.back();
+      auto& kids = children[block];
+      if (next < kids.size()) {
+        const ir::BasicBlock* child = kids[next++];
+        interval_[child].first = clock++;
+        stack.emplace_back(child, 0);
+      } else {
+        interval_[block].second = clock++;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(const ir::BasicBlock* a,
+                              const ir::BasicBlock* b) const {
+  if (a == b) return true;
+  auto ia = interval_.find(a);
+  auto ib = interval_.find(b);
+  if (ia == interval_.end() || ib == interval_.end()) return false;
+  return ia->second.first <= ib->second.first &&
+         ib->second.second <= ia->second.second;
+}
+
+}  // namespace cayman::analysis

@@ -1,0 +1,40 @@
+// Dominator and post-dominator trees (Cooper–Harvey–Kennedy iterative
+// algorithm over reverse post-order).
+#pragma once
+
+#include <map>
+
+#include "analysis/cfg.h"
+
+namespace cayman::analysis {
+
+class DominatorTree {
+ public:
+  /// Builds the (forward) dominator tree.
+  static DominatorTree dominators(const Cfg& cfg);
+  /// Builds the post-dominator tree. Multiple Ret blocks are joined through a
+  /// virtual exit represented by nullptr.
+  static DominatorTree postDominators(const Cfg& cfg);
+
+  /// Immediate (post-)dominator; nullptr for the root (and, in the post-dom
+  /// tree, for blocks whose ipdom is the virtual exit).
+  const ir::BasicBlock* idom(const ir::BasicBlock* block) const;
+
+  /// Reflexive dominance query.
+  bool dominates(const ir::BasicBlock* a, const ir::BasicBlock* b) const;
+  bool strictlyDominates(const ir::BasicBlock* a,
+                         const ir::BasicBlock* b) const {
+    return a != b && dominates(a, b);
+  }
+
+ private:
+  DominatorTree() = default;
+
+  std::map<const ir::BasicBlock*, const ir::BasicBlock*> idom_;
+  // Interval labelling for O(1) dominance queries.
+  std::map<const ir::BasicBlock*, std::pair<int, int>> interval_;
+
+  void computeIntervals();
+};
+
+}  // namespace cayman::analysis

@@ -1,0 +1,106 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+
+namespace cayman::analysis {
+
+bool Loop::contains(const Loop* other) const {
+  for (const Loop* l = other; l != nullptr; l = l->parent()) {
+    if (l == this) return true;
+  }
+  return false;
+}
+
+LoopInfo::LoopInfo(const Cfg& cfg, const DominatorTree& domTree) {
+  // 1. Find back edges (latch -> header with header dominating latch) and
+  //    collect each natural loop's blocks by reverse reachability.
+  for (const ir::BasicBlock* block : cfg.rpo()) {
+    for (const ir::BasicBlock* succ : block->successors()) {
+      if (!domTree.dominates(succ, block)) continue;
+      // succ is a loop header, block the latch.
+      auto loop = std::make_unique<Loop>();
+      loop->header_ = succ;
+      loop->latch_ = block;
+      loop->blocks_.insert(succ);
+      std::vector<const ir::BasicBlock*> work{block};
+      while (!work.empty()) {
+        const ir::BasicBlock* b = work.back();
+        work.pop_back();
+        if (!loop->blocks_.insert(b).second) continue;
+        for (const ir::BasicBlock* pred : cfg.predecessors(b)) {
+          work.push_back(pred);
+        }
+      }
+      loops_.push_back(std::move(loop));
+    }
+  }
+
+  // 2. Nesting: parent = smallest strictly-containing loop.
+  for (auto& loop : loops_) {
+    Loop* best = nullptr;
+    for (auto& candidate : loops_) {
+      if (candidate.get() == loop.get()) continue;
+      if (candidate->blocks_.count(loop->header_) == 0) continue;
+      if (candidate->blocks_.size() <= loop->blocks_.size()) continue;
+      if (best == nullptr || candidate->blocks_.size() < best->blocks_.size()) {
+        best = candidate.get();
+      }
+    }
+    loop->parent_ = best;
+    if (best != nullptr) {
+      best->subLoops_.push_back(loop.get());
+    } else {
+      topLevel_.push_back(loop.get());
+    }
+  }
+  for (auto& loop : loops_) {
+    unsigned depth = 1;
+    for (Loop* p = loop->parent_; p != nullptr; p = p->parent_) ++depth;
+    loop->depth_ = depth;
+  }
+
+  // 3. Canonical-form features: preheader, exits, innermost map.
+  for (auto& loop : loops_) {
+    const ir::BasicBlock* preheader = nullptr;
+    bool unique = true;
+    for (const ir::BasicBlock* pred : cfg.predecessors(loop->header_)) {
+      if (loop->contains(pred)) continue;
+      if (preheader != nullptr) unique = false;
+      preheader = pred;
+    }
+    loop->preheader_ = unique ? preheader : nullptr;
+
+    std::set<const ir::BasicBlock*> exits;
+    for (const ir::BasicBlock* block : loop->blocks_) {
+      for (const ir::BasicBlock* succ : block->successors()) {
+        if (!loop->contains(succ)) exits.insert(succ);
+      }
+    }
+    loop->exits_.assign(exits.begin(), exits.end());
+  }
+
+  for (auto& loop : loops_) {
+    for (const ir::BasicBlock* block : loop->blocks_) {
+      auto [it, inserted] = innermost_.try_emplace(block, loop.get());
+      if (!inserted && loop->depth_ > it->second->depth_) {
+        it->second = loop.get();
+      }
+    }
+  }
+
+  // Deterministic order: outermost nests first, by header RPO position.
+  auto byRpo = [&cfg](const Loop* a, const Loop* b) {
+    return cfg.rpoIndex(a->header()) < cfg.rpoIndex(b->header());
+  };
+  std::sort(topLevel_.begin(), topLevel_.end(), byRpo);
+  for (auto& loop : loops_) {
+    std::sort(loop->subLoops_.begin(), loop->subLoops_.end(), byRpo);
+  }
+}
+
+const Loop* LoopInfo::loopFor(const ir::BasicBlock* block) const {
+  auto it = innermost_.find(block);
+  return it == innermost_.end() ? nullptr : it->second;
+}
+
+}  // namespace cayman::analysis

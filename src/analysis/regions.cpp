@@ -1,0 +1,186 @@
+#include "analysis/regions.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cayman::analysis {
+
+namespace {
+
+bool blockContainsCall(const ir::BasicBlock* block) {
+  for (const auto& inst : block->instructions()) {
+    if (inst->opcode() == ir::Opcode::Call) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+WPst::WPst(const ir::Module& module) : module_(module) {
+  for (const auto& function : module.functions()) {
+    analyses_.emplace(function.get(),
+                      std::make_unique<FunctionAnalyses>(*function));
+  }
+
+  root_ = std::make_unique<Region>();
+  root_->kind_ = RegionKind::Root;
+  root_->id_ = nextId_++;
+  root_->label_ = "app:" + module.name();
+  byId_.push_back(root_.get());
+
+  for (const auto& function : module.functions()) {
+    Region* functionRegion = makeRegion(RegionKind::Function, root_.get());
+    functionRegion->function_ = function.get();
+    functionRegion->label_ = "@" + function->name();
+    functionRegion->anchor_ = function->entry();
+    buildFunction(functionRegion, *function);
+  }
+
+  finalize(root_.get());
+}
+
+Region* WPst::makeRegion(RegionKind kind, Region* parent) {
+  auto region = std::make_unique<Region>();
+  region->kind_ = kind;
+  region->id_ = nextId_++;
+  region->parent_ = parent;
+  Region* raw = region.get();
+  byId_.push_back(raw);
+  parent->children_.push_back(std::move(region));
+  return raw;
+}
+
+void WPst::buildFunction(Region* functionRegion,
+                         const ir::Function& function) {
+  const FunctionAnalyses& fa = *analyses_.at(&function);
+  functionRegion->blocks_ = fa.cfg.rpo();
+  buildScope(functionRegion, function, fa.cfg.rpo(), nullptr);
+}
+
+void WPst::buildScope(Region* parent, const ir::Function& function,
+                      const std::vector<const ir::BasicBlock*>& scope,
+                      const Loop* context) {
+  const FunctionAnalyses& fa = *analyses_.at(&function);
+  std::set<const ir::BasicBlock*> scopeSet(scope.begin(), scope.end());
+  std::set<const ir::BasicBlock*> assigned;
+
+  auto makeBb = [&](const ir::BasicBlock* block, Region* owner) {
+    Region* bb = makeRegion(RegionKind::Bb, owner);
+    bb->kind_ = RegionKind::Bb;
+    bb->function_ = &function;
+    bb->block_ = block;
+    bb->blocks_ = {block};
+    bb->anchor_ = block;
+    bb->label_ = "bb @" + function.name() + ":" + block->name();
+    bb->containsCall_ = blockContainsCall(block);
+    bbRegions_[block] = bb;
+  };
+
+  for (const ir::BasicBlock* block : scope) {
+    if (assigned.count(block) != 0) continue;
+    assigned.insert(block);
+
+    // --- Loop region: `block` heads a loop nested directly below `context`.
+    const Loop* loop = fa.loops.loopFor(block);
+    if (loop != nullptr && loop != context && block == loop->header()) {
+      CAYMAN_ASSERT(loop->parent() == context,
+                    "unstructured loop nesting at " + block->name());
+      Region* loopRegion = makeRegion(RegionKind::Loop, parent);
+      loopRegion->function_ = &function;
+      loopRegion->loop_ = loop;
+      loopRegion->block_ = block;
+      loopRegion->anchor_ =
+          loop->preheader() != nullptr ? loop->preheader() : loop->header();
+      loopRegion->label_ = "loop @" + function.name() + ":" + block->name();
+      loopRegions_[loop] = loopRegion;
+
+      std::vector<const ir::BasicBlock*> inner;
+      for (const ir::BasicBlock* b : fa.cfg.rpo()) {
+        if (loop->contains(b)) {
+          inner.push_back(b);
+          assigned.insert(b);
+        }
+      }
+      loopRegion->blocks_ = inner;
+      buildScope(loopRegion, function, inner, loop);
+      continue;
+    }
+
+    // --- If region: a condbr diamond that rejoins inside the scope.
+    const ir::Instruction* term = block->terminator();
+    if (term->opcode() == ir::Opcode::CondBr) {
+      const ir::BasicBlock* join = fa.postDom.idom(block);
+      auto succs = term->successors();
+      bool succsInScope = scopeSet.count(succs[0]) != 0 &&
+                          scopeSet.count(succs[1]) != 0;
+      if (join != nullptr && succsInScope && scopeSet.count(join) != 0) {
+        // Collect blocks strictly between the branch and the join.
+        std::set<const ir::BasicBlock*> body;
+        std::vector<const ir::BasicBlock*> work{succs[0], succs[1]};
+        bool sese = true;
+        while (!work.empty() && sese) {
+          const ir::BasicBlock* b = work.back();
+          work.pop_back();
+          if (b == join || body.count(b) != 0) continue;
+          if (scopeSet.count(b) == 0 || !fa.dom.dominates(block, b) ||
+              assigned.count(b) != 0) {
+            sese = false;
+            break;
+          }
+          body.insert(b);
+          for (const ir::BasicBlock* succ : b->successors()) {
+            work.push_back(succ);
+          }
+        }
+        if (sese && !body.empty()) {
+          Region* ifRegion = makeRegion(RegionKind::If, parent);
+          ifRegion->function_ = &function;
+          ifRegion->block_ = block;
+          ifRegion->anchor_ = block;
+          ifRegion->label_ =
+              "if @" + function.name() + ":" + block->name();
+          ifRegion->blocks_.push_back(block);
+          makeBb(block, ifRegion);
+
+          std::vector<const ir::BasicBlock*> inner;
+          for (const ir::BasicBlock* b : fa.cfg.rpo()) {
+            if (body.count(b) != 0) {
+              inner.push_back(b);
+              assigned.insert(b);
+            }
+          }
+          ifRegion->blocks_.insert(ifRegion->blocks_.end(), inner.begin(),
+                                   inner.end());
+          buildScope(ifRegion, function, inner, context);
+          continue;
+        }
+      }
+    }
+
+    // --- Plain basic block.
+    makeBb(block, parent);
+  }
+}
+
+void WPst::finalize(Region* region) {
+  for (auto& child : region->children_) {
+    finalize(child.get());
+    region->containsCall_ |= child->containsCall_;
+  }
+}
+
+const Region* WPst::bbRegion(const ir::BasicBlock* block) const {
+  auto it = bbRegions_.find(block);
+  return it == bbRegions_.end() ? nullptr : it->second;
+}
+
+const Region* WPst::loopRegion(const Loop* loop) const {
+  auto it = loopRegions_.find(loop);
+  return it == loopRegions_.end() ? nullptr : it->second;
+}
+
+const FunctionAnalyses& WPst::analyses(const ir::Function* function) const {
+  return *analyses_.at(function);
+}
+
+}  // namespace cayman::analysis

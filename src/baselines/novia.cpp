@@ -1,0 +1,89 @@
+#include "baselines/novia.h"
+
+#include <algorithm>
+
+namespace cayman::baselines {
+
+NoviaFlow::NoviaFlow(const analysis::WPst& wpst,
+                     const sim::ProfileData& profile,
+                     const hls::TechLibrary& tech,
+                     const sim::CpuCostModel& cpu, double cpuClockNs) {
+  const double wrapperArea = 600.0;  // decode + operand routing of a CFU
+
+  for (const auto& function : wpst.module().functions()) {
+    for (const auto& block : function->blocks()) {
+      uint64_t execs = profile.blockCount(block.get());
+      if (execs == 0) continue;
+
+      // The CFU covers the block's pure-compute dataflow; memory accesses,
+      // address computation feeding them, and control stay on the core.
+      double cpuComputeCycles = 0.0;
+      double area = 0.0;
+      unsigned ops = 0;
+      // Critical path through compute ops only (ASAP over def-use edges).
+      std::map<const ir::Instruction*, double> finish;
+      double critical = 0.0;
+      for (const auto& inst : block->instructions()) {
+        if (!ir::isComputeOp(inst->opcode()) ||
+            inst->opcode() == ir::Opcode::Gep) {
+          continue;
+        }
+        double ready = 0.0;
+        for (const ir::Value* operand : inst->operands()) {
+          const auto* def = ir::dynCast<ir::Instruction>(operand);
+          if (def == nullptr) continue;
+          auto it = finish.find(def);
+          if (it != finish.end()) ready = std::max(ready, it->second);
+        }
+        double latency = std::max(
+            1.0, static_cast<double>(tech.latencyCycles(
+                     inst->opcode(), inst->type(), cpuClockNs)));
+        finish[inst.get()] = ready + latency;
+        critical = std::max(critical, finish[inst.get()]);
+        cpuComputeCycles += cpu.cost(*inst);
+        area += tech.opInfo(inst->opcode(), inst->type()).areaUm2;
+        ++ops;
+      }
+      if (ops < 2) continue;  // single ops are not worth a custom unit
+
+      // Invocation overhead: operand marshalling into the CFU register file.
+      double perExecSaved = cpuComputeCycles - (critical + 1.0);
+      if (perExecSaved <= 0.0) continue;
+
+      Candidate candidate;
+      candidate.block = block.get();
+      candidate.savedCpuCycles = perExecSaved * static_cast<double>(execs);
+      candidate.areaUm2 = area + wrapperArea;
+      candidates_.push_back(candidate);
+    }
+  }
+}
+
+std::vector<NoviaFlow::Point> NoviaFlow::paretoFront(
+    double areaBudgetUm2) const {
+  // Greedy by benefit density, accumulating prefix points.
+  std::vector<Candidate> sorted = candidates_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.savedCpuCycles / a.areaUm2 >
+                     b.savedCpuCycles / b.areaUm2;
+            });
+  std::vector<Point> points;
+  Point current;
+  points.push_back(current);
+  for (const Candidate& candidate : sorted) {
+    if (current.areaUm2 + candidate.areaUm2 > areaBudgetUm2) continue;
+    current.areaUm2 += candidate.areaUm2;
+    current.savedCpuCycles += candidate.savedCpuCycles;
+    current.fusedBlocks += 1;
+    points.push_back(current);
+  }
+  return points;
+}
+
+NoviaFlow::Point NoviaFlow::best(double areaBudgetUm2) const {
+  std::vector<Point> points = paretoFront(areaBudgetUm2);
+  return points.back();
+}
+
+}  // namespace cayman::baselines

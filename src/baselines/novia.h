@@ -1,0 +1,48 @@
+// NOVIA-like baseline [21]: custom functional units discovered from
+// application dataflow. Per the paper's characterization (Table I), this
+// flow accelerates single-basic-block data-flow graphs only — no control
+// flow and no memory access acceleration; operands arrive as scalars and
+// memory operations stay on the CPU.
+#pragma once
+
+#include "hls/tech_library.h"
+#include "sim/profiler.h"
+
+namespace cayman::baselines {
+
+/// One selectable CFU candidate plus a Pareto front over subsets.
+class NoviaFlow {
+ public:
+  struct Point {
+    double areaUm2 = 0.0;
+    double savedCpuCycles = 0.0;
+    int fusedBlocks = 0;
+
+    double speedup(double totalCpuCycles) const {
+      double remaining = totalCpuCycles - savedCpuCycles;
+      return remaining <= 0.0 ? totalCpuCycles : totalCpuCycles / remaining;
+    }
+  };
+
+  NoviaFlow(const analysis::WPst& wpst, const sim::ProfileData& profile,
+            const hls::TechLibrary& tech,
+            const sim::CpuCostModel& cpu = sim::CpuCostModel::cva6(),
+            double cpuClockNs = 1.0);
+
+  /// Increasing-area Pareto points under the budget (greedy knapsack by
+  /// benefit density — NOVIA's inline-accelerator selection heuristic).
+  std::vector<Point> paretoFront(double areaBudgetUm2) const;
+  /// Highest-speedup point under the budget.
+  Point best(double areaBudgetUm2) const;
+
+ private:
+  struct Candidate {
+    const ir::BasicBlock* block = nullptr;
+    double savedCpuCycles = 0.0;
+    double areaUm2 = 0.0;
+  };
+
+  std::vector<Candidate> candidates_;
+};
+
+}  // namespace cayman::baselines

@@ -1,0 +1,49 @@
+#include "baselines/qscores.h"
+
+namespace cayman::baselines {
+
+hls::InterfaceTiming QsCoresFlow::scanChainTiming() {
+  hls::InterfaceTiming timing;
+  // Scan-chain data access: words serially shifted through the chain —
+  // roughly twice the latency and occupancy of a dedicated coupled port
+  // ([22], [23]). Slow enough to cap scaling, not so slow the flow never
+  // beats the CPU (QsCores is a real baseline, clearly above NOVIA).
+  timing.coupledLoadLatency = 6;
+  timing.coupledLoadOccupancy = 5;
+  timing.coupledStoreLatency = 3;
+  timing.coupledStoreOccupancy = 2;
+  return timing;
+}
+
+accel::ModelParams QsCoresFlow::restrictedParams() {
+  accel::ModelParams params;
+  params.allowDecoupled = false;
+  params.allowScratchpad = false;
+  params.allowPipelining = false;
+  params.allowUnrolling = false;
+  return params;
+}
+
+QsCoresFlow::QsCoresFlow(const analysis::WPst& wpst,
+                         const sim::ProfileData& profile,
+                         const hls::TechLibrary& tech)
+    : model_(wpst, profile, tech, scanChainTiming(), restrictedParams()) {}
+
+std::vector<select::Solution> QsCoresFlow::paretoFront(double areaBudgetUm2,
+                                                       double clockRatio) {
+  select::SelectorParams params;
+  params.areaBudgetUm2 = areaBudgetUm2;
+  params.clockRatio = clockRatio;
+  select::CandidateSelector selector(model_, params);
+  return selector.select();
+}
+
+select::Solution QsCoresFlow::best(double areaBudgetUm2, double clockRatio) {
+  select::SelectorParams params;
+  params.areaBudgetUm2 = areaBudgetUm2;
+  params.clockRatio = clockRatio;
+  select::CandidateSelector selector(model_, params);
+  return selector.best();
+}
+
+}  // namespace cayman::baselines

@@ -1,0 +1,35 @@
+// QsCores-like baseline [23]: off-core accelerators ("quasi-specific
+// cores") that do support control flow and memory, but only synthesize
+// sequential control logic and reach memory through a slow scan-chain-style
+// interface (paper Table I / §II-B). Implemented by instantiating Cayman's
+// own accelerator model with those restrictions, so the comparison isolates
+// exactly the paper's claimed advantages.
+#pragma once
+
+#include "select/selector.h"
+
+namespace cayman::baselines {
+
+class QsCoresFlow {
+ public:
+  QsCoresFlow(const analysis::WPst& wpst, const sim::ProfileData& profile,
+              const hls::TechLibrary& tech);
+
+  /// Scan-chain access timing: high latency, one word at a time, the chain
+  /// shared by every access.
+  static hls::InterfaceTiming scanChainTiming();
+
+  /// Model restrictions: sequential control only, coupled-style access only.
+  static accel::ModelParams restrictedParams();
+
+  std::vector<select::Solution> paretoFront(double areaBudgetUm2,
+                                            double clockRatio = 1.25);
+  select::Solution best(double areaBudgetUm2, double clockRatio = 1.25);
+
+  const accel::AcceleratorModel& model() const { return model_; }
+
+ private:
+  accel::AcceleratorModel model_;
+};
+
+}  // namespace cayman::baselines

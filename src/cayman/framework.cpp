@@ -1,0 +1,100 @@
+#include "cayman/framework.h"
+
+#include "ir/verifier.h"
+
+namespace cayman {
+
+Framework::Framework(std::unique_ptr<ir::Module> module,
+                     FrameworkOptions options)
+    : options_(options),
+      module_(std::move(module)),
+      tech_(hls::TechLibrary::nangate45()) {
+  CAYMAN_ASSERT(module_ != nullptr, "Framework requires a module");
+  ir::verifyOrThrow(*module_);
+
+  // Fig. 1 pipeline: wPST construction, profiling, program analysis.
+  wpst_ = std::make_unique<analysis::WPst>(*module_);
+  interpreter_ = std::make_unique<sim::Interpreter>(*module_);
+  sim::Interpreter::Result run = interpreter_->run();
+  profile_ = std::make_unique<sim::ProfileData>(*wpst_, run,
+                                                interpreter_->costModel());
+
+  accel::ModelParams params;
+  params.clockNs = options_.accelClockNs;
+  params.beta = options_.beta;
+  params.allowDecoupled = !options_.coupledOnly;
+  params.allowScratchpad = !options_.coupledOnly;
+  model_ = std::make_unique<accel::AcceleratorModel>(
+      *wpst_, *profile_, tech_, hls::InterfaceTiming{}, params);
+
+  novia_ = std::make_unique<baselines::NoviaFlow>(
+      *wpst_, *profile_, tech_, interpreter_->costModel(),
+      options_.cpuClockNs);
+  qscores_ =
+      std::make_unique<baselines::QsCoresFlow>(*wpst_, *profile_, tech_);
+}
+
+std::vector<select::Solution> Framework::explore(double budgetRatio) const {
+  select::SelectorParams params;
+  params.areaBudgetUm2 = budgetUm2(budgetRatio);
+  params.alpha = options_.alpha;
+  params.pruneHotFraction = options_.pruneHotFraction;
+  params.clockRatio = options_.clockRatio();
+  select::CandidateSelector selector(*model_, params);
+  return selector.select();
+}
+
+select::Solution Framework::best(double budgetRatio) const {
+  select::SelectorParams params;
+  params.areaBudgetUm2 = budgetUm2(budgetRatio);
+  params.alpha = options_.alpha;
+  params.pruneHotFraction = options_.pruneHotFraction;
+  params.clockRatio = options_.clockRatio();
+  select::CandidateSelector selector(*model_, params);
+  return selector.best();
+}
+
+merge::MergeResult Framework::mergeSolution(
+    const select::Solution& solution) const {
+  merge::AcceleratorMerger merger(tech_);
+  return merger.run(solution);
+}
+
+EvaluationReport Framework::evaluate(double budgetRatio) const {
+  EvaluationReport report;
+  report.budgetRatio = budgetRatio;
+
+  auto start = std::chrono::steady_clock::now();
+  report.solution = best(budgetRatio);
+  report.merging = mergeSolution(report.solution);
+  report.selectionSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  double tAll = totalCpuCycles();
+  double ratio = options_.clockRatio();
+  report.caymanSpeedup = report.solution.speedup(tAll, ratio);
+
+  baselines::NoviaFlow::Point noviaBest =
+      novia_->best(budgetUm2(budgetRatio));
+  report.noviaSpeedup = noviaBest.speedup(tAll);
+  select::Solution qscoresBest =
+      qscores_->best(budgetUm2(budgetRatio), ratio);
+  report.qscoresSpeedup = qscoresBest.speedup(tAll, ratio);
+
+  report.overNovia = report.caymanSpeedup / report.noviaSpeedup;
+  report.overQsCores = report.caymanSpeedup / report.qscoresSpeedup;
+
+  for (const accel::AcceleratorConfig& config :
+       report.solution.accelerators) {
+    report.numSeqBlocks += config.numSeqBlocks;
+    report.numPipelinedRegions += config.numPipelinedRegions;
+    report.numCoupled += config.numCoupled;
+    report.numDecoupled += config.numDecoupled;
+    report.numScratchpad += config.numScratchpad;
+  }
+  report.areaSavingPercent = report.merging.savingPercent();
+  return report;
+}
+
+}  // namespace cayman

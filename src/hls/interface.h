@@ -1,0 +1,75 @@
+// Processor–accelerator data access interfaces (paper §III-C, Fig. 3).
+#pragma once
+
+#include <map>
+
+#include "ir/instruction.h"
+
+namespace cayman::hls {
+
+/// The three interface types Cayman models.
+enum class IfaceKind {
+  Coupled,     ///< blocking load/store unit on a shared memory port
+  Decoupled,   ///< AGU + FIFO prefetch/drain; stream accesses only
+  Scratchpad,  ///< banked local buffer + DMA fill/drain around execution
+};
+
+const char* ifaceSpelling(IfaceKind kind);
+
+/// Interface assignment for one memory access operation.
+struct AccessIface {
+  IfaceKind kind = IfaceKind::Coupled;
+  /// Scratchpad banks available to this access (memory partitioning under
+  /// unrolled loops, paper §III-C).
+  unsigned partitions = 1;
+  /// Backing array: scratchpad buffers/banks are allocated per array.
+  const ir::GlobalArray* array = nullptr;
+  /// Scratchpad footprint in bytes (buffer sizing; static by construction).
+  uint64_t footprintBytes = 0;
+  /// Register promotion: the address is invariant in the optimized loop, so
+  /// the value lives in a register during execution (load before / store
+  /// after the loop). Promoted accesses cost no latency, no port, and no
+  /// interface hardware beyond one holding register.
+  bool promoted = false;
+};
+
+/// Timing parameters of the interfaces. The defaults are calibrated so the
+/// paper's Fig. 4 example reproduces: sequential 6N vs 4N, pipelined II 3
+/// vs 1, unrolled-by-2 9(N/2) vs 4(N/2).
+struct InterfaceTiming {
+  /// Cycles until a coupled load's data arrives (accelerator stalls).
+  unsigned coupledLoadLatency = 3;
+  /// Cycles the shared port is busy per coupled load (non-overlapping).
+  unsigned coupledLoadOccupancy = 3;
+  unsigned coupledStoreLatency = 1;
+  unsigned coupledStoreOccupancy = 1;  ///< posted writes
+  /// Decoupled FIFO pop/push latency as seen by the datapath.
+  unsigned decoupledLatency = 1;
+  unsigned scratchpadLatency = 1;
+  /// Bytes the DMA engine moves per cycle when (pre)filling scratchpads.
+  unsigned dmaBytesPerCycle = 8;
+  /// Decoupled FIFO depth in elements (buffering area).
+  unsigned fifoDepthElems = 8;
+
+  unsigned loadLatency(IfaceKind kind) const {
+    switch (kind) {
+      case IfaceKind::Coupled: return coupledLoadLatency;
+      case IfaceKind::Decoupled: return decoupledLatency;
+      case IfaceKind::Scratchpad: return scratchpadLatency;
+    }
+    return coupledLoadLatency;
+  }
+  unsigned storeLatency(IfaceKind kind) const {
+    switch (kind) {
+      case IfaceKind::Coupled: return coupledStoreLatency;
+      case IfaceKind::Decoupled: return decoupledLatency;
+      case IfaceKind::Scratchpad: return scratchpadLatency;
+    }
+    return coupledStoreLatency;
+  }
+};
+
+/// Per-access interface assignment for a candidate kernel.
+using IfaceAssignment = std::map<const ir::Instruction*, AccessIface>;
+
+}  // namespace cayman::hls

@@ -1,0 +1,68 @@
+// HLS scheduling: list scheduling of basic-block datapaths with
+// interface-aware memory-port resources, plus pipelining MII bounds.
+#pragma once
+
+#include <span>
+
+#include "analysis/memdep.h"
+#include "hls/interface.h"
+#include "hls/tech_library.h"
+
+namespace cayman::hls {
+
+/// Scheduling result for one basic block (one FSM state sequence).
+struct BlockSchedule {
+  /// Cycles for one execution of the block (>= 1 for non-empty blocks).
+  unsigned latency = 0;
+  /// Datapath operator area, including unroll replication.
+  double opAreaUm2 = 0.0;
+  /// Pipeline registers along the schedule (approximated per scheduled op).
+  double regAreaUm2 = 0.0;
+  /// Number of scheduled operations (one unroll instance).
+  unsigned numOps = 0;
+  /// Start cycle per instruction (first unroll instance).
+  std::map<const ir::Instruction*, unsigned> start;
+};
+
+class Scheduler {
+ public:
+  Scheduler(const TechLibrary& tech, InterfaceTiming timing, double clockNs)
+      : tech_(tech), timing_(timing), clockNs_(clockNs) {}
+
+  const TechLibrary& tech() const { return tech_; }
+  const InterfaceTiming& timing() const { return timing_; }
+  double clockNs() const { return clockNs_; }
+
+  /// Latency of one operation under its interface assignment.
+  unsigned opLatency(const ir::Instruction& inst,
+                     const IfaceAssignment& ifaces) const;
+
+  /// Schedules one basic block with `unroll` parallel instances (used to
+  /// model unrolled loop bodies: compute replicates, memory ports contend).
+  BlockSchedule scheduleBlock(const ir::BasicBlock& block,
+                              const IfaceAssignment& ifaces,
+                              unsigned unroll = 1) const;
+
+  /// Resource-constrained minimum II for a pipelined body block.
+  unsigned resMII(const ir::BasicBlock& block, const IfaceAssignment& ifaces,
+                  unsigned unroll = 1) const;
+
+  /// Recurrence-constrained minimum II from loop-carried dependences.
+  unsigned recMII(std::span<const analysis::LoopCarriedDep> deps,
+                  const IfaceAssignment& ifaces) const;
+
+  /// Steady-state cycles of a pipelined loop: depth + (iterations-1) * II.
+  static uint64_t pipelinedCycles(uint64_t iterations, unsigned depth,
+                                  unsigned ii);
+
+ private:
+  /// Resource key for scratchpad banking (per backing array).
+  static const void* bankKey(const AccessIface& iface,
+                             const ir::Instruction& inst);
+
+  const TechLibrary& tech_;
+  InterfaceTiming timing_;
+  double clockNs_;
+};
+
+}  // namespace cayman::hls

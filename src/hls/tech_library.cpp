@@ -1,0 +1,85 @@
+#include "hls/tech_library.h"
+
+#include <cmath>
+
+namespace cayman::hls {
+
+TechLibrary TechLibrary::nangate45() { return TechLibrary{}; }
+
+OpHw TechLibrary::opInfo(ir::Opcode op, const ir::Type* type) const {
+  using ir::Opcode;
+  const bool wide = type != nullptr && type->bitWidth() >= 64;
+  const double w = wide ? 1.0 : 0.55;  // narrow datapaths are cheaper
+
+  switch (op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+      return {1.2 * w, 780.0 * w};
+    case Opcode::Mul:
+      return {3.4 * w, 7900.0 * w};
+    case Opcode::SDiv:
+    case Opcode::SRem:
+      return {24.0 * w, 11500.0 * w};
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+      return {0.4 * w, 210.0 * w};
+    case Opcode::Shl:
+    case Opcode::AShr:
+    case Opcode::LShr:
+      return {0.9 * w, 640.0 * w};
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FNeg:
+    case Opcode::FAbs:
+    case Opcode::FMin:
+    case Opcode::FMax:
+      return {5.2 * w, 3600.0 * w};
+    case Opcode::FMul:
+      return {5.6 * w, 6400.0 * w};
+    case Opcode::FDiv:
+      return {22.0 * w, 15500.0 * w};
+    case Opcode::FSqrt:
+      return {30.0 * w, 18500.0 * w};
+    case Opcode::ICmp:
+      return {0.9 * w, 420.0 * w};
+    case Opcode::FCmp:
+      return {2.2 * w, 980.0 * w};
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc:
+      return {0.1, 60.0};
+    case Opcode::SIToFP:
+    case Opcode::FPToSI:
+      return {3.8 * w, 2700.0 * w};
+    case Opcode::Select:
+      return {0.5 * w, 340.0 * w};
+    case Opcode::Gep:
+      // Address adder (shift-add).
+      return {1.3, 860.0};
+    case Opcode::Load:
+    case Opcode::Store:
+      // The datapath-side request logic; interface hardware is costed
+      // separately per the configured access interface.
+      return {0.8, 300.0};
+    case Opcode::Phi:
+      // Register selects folded into the FSM datapath muxes.
+      return {0.0, 0.0};
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+    case Opcode::Call:
+      return {0.0, 0.0};
+  }
+  return {};
+}
+
+unsigned TechLibrary::latencyCycles(ir::Opcode op, const ir::Type* type,
+                                    double clockNs) const {
+  OpHw hw = opInfo(op, type);
+  if (hw.delayNs <= 0.0) return 0;
+  unsigned cycles = static_cast<unsigned>(std::ceil(hw.delayNs / clockNs));
+  return cycles == 0 ? 1 : cycles;
+}
+
+}  // namespace cayman::hls

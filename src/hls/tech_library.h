@@ -1,0 +1,57 @@
+// Technology characterization: per-operation delay/area plus interface and
+// control hardware costs.
+//
+// Substitutes for the paper's OpenROAD + Nangate45 characterization runs:
+// the constants below are a static table calibrated to published 45 nm-class
+// synthesis results. The accelerator model only performs lookups, so the
+// code paths match the paper's flow exactly.
+#pragma once
+
+#include "ir/instruction.h"
+
+namespace cayman::hls {
+
+/// Combinational delay (ns) and cell area (um^2) of one operator instance.
+struct OpHw {
+  double delayNs = 0.0;
+  double areaUm2 = 0.0;
+};
+
+class TechLibrary {
+ public:
+  /// 45nm-class characterization at the paper's operating point.
+  static TechLibrary nangate45();
+
+  /// Delay/area for one op on the given scalar type.
+  OpHw opInfo(ir::Opcode op, const ir::Type* type) const;
+
+  /// Latency in cycles at `clockNs` (>=1; multi-cycle ops pipelined into
+  /// ceil(delay/clock) stages).
+  unsigned latencyCycles(ir::Opcode op, const ir::Type* type,
+                         double clockNs) const;
+
+  // --- Control / storage hardware -----------------------------------------
+  double registerAreaPerBit = 6.0;
+  double muxAreaPerInputBit = 1.6;
+  double fsmAreaPerState = 120.0;
+  /// Fixed overhead per accelerator (bus interface, start/done handshake).
+  double acceleratorWrapperArea = 4500.0;
+  /// Global Ctrl unit of a merged (reusable) accelerator (paper §III-E).
+  double mergeCtrlArea = 2200.0;
+  /// Per reconfiguration bit register in merged datapaths.
+  double configBitArea = 8.0;
+
+  // --- Data-access interface hardware --------------------------------------
+  double lsuArea = 2400.0;            ///< coupled load/store unit
+  double aguArea = 1500.0;            ///< address generation unit (decoupled)
+  double fifoAreaPerByte = 14.0;      ///< decoupled data FIFO
+  double scratchpadAreaPerByte = 9.0; ///< SRAM buffer
+  double scratchpadPortArea = 900.0;  ///< per extra bank port
+  double dmaEngineArea = 3200.0;      ///< scratchpad DMA engine
+
+  /// Area of one CVA6 RISC-V tile [32]; accelerator areas are reported as a
+  /// ratio of this (paper §IV-A).
+  double cva6TileAreaUm2 = 2.0e6;
+};
+
+}  // namespace cayman::hls

@@ -1,0 +1,59 @@
+// BasicBlock: a straight-line instruction sequence ending in a terminator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace cayman::ir {
+
+class Function;
+
+class BasicBlock {
+ public:
+  BasicBlock(Function* parent, std::string name)
+      : parent_(parent), name_(std::move(name)) {}
+
+  BasicBlock(const BasicBlock&) = delete;
+  BasicBlock& operator=(const BasicBlock&) = delete;
+
+  Function* parent() const { return parent_; }
+  const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+  const std::vector<std::unique_ptr<Instruction>>& instructions() const {
+    return instructions_;
+  }
+  bool empty() const { return instructions_.empty(); }
+  size_t size() const { return instructions_.size(); }
+
+  /// Appends an instruction, taking ownership.
+  Instruction* append(std::unique_ptr<Instruction> inst);
+  /// Inserts a phi after the existing phis at the head of the block.
+  Instruction* insertPhi(std::unique_ptr<Instruction> inst);
+  /// Inserts before the terminator (appends when there is none yet).
+  Instruction* insertBeforeTerminator(std::unique_ptr<Instruction> inst);
+  /// Detaches `inst` from this block without destroying it.
+  std::unique_ptr<Instruction> remove(Instruction* inst);
+
+  /// The final Br/CondBr/Ret; nullptr while the block is under construction.
+  Instruction* terminator() const;
+  bool hasTerminator() const { return terminator() != nullptr; }
+
+  /// Successor blocks per the terminator (empty for Ret).
+  std::vector<BasicBlock*> successors() const;
+
+  /// Phi nodes at the head of the block.
+  std::vector<Instruction*> phis() const;
+  /// Non-phi, non-terminator body instructions.
+  std::vector<Instruction*> body() const;
+
+ private:
+  Function* parent_;
+  std::string name_;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+};
+
+}  // namespace cayman::ir

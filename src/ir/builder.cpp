@@ -1,0 +1,205 @@
+#include "ir/builder.h"
+
+namespace cayman::ir {
+
+Instruction* IRBuilder::emit(Opcode op, const Type* type,
+                             std::vector<Value*> operands, std::string name) {
+  CAYMAN_ASSERT(block_ != nullptr, "no insertion point");
+  auto inst = std::make_unique<Instruction>(op, type, std::move(operands),
+                                            std::move(name));
+  return block_->append(std::move(inst));
+}
+
+Value* IRBuilder::binary(Opcode op, Value* a, Value* b, std::string name,
+                         bool isFloat) {
+  CAYMAN_ASSERT(a->type() == b->type(),
+                std::string("operand type mismatch for ") +
+                    opcodeSpelling(op));
+  CAYMAN_ASSERT(isFloat ? a->type()->isFloat() : a->type()->isInteger(),
+                std::string("wrong operand domain for ") + opcodeSpelling(op));
+  return emit(op, a->type(), {a, b}, std::move(name));
+}
+
+Value* IRBuilder::add(Value* a, Value* b, std::string name) {
+  return binary(Opcode::Add, a, b, std::move(name), false);
+}
+Value* IRBuilder::sub(Value* a, Value* b, std::string name) {
+  return binary(Opcode::Sub, a, b, std::move(name), false);
+}
+Value* IRBuilder::mul(Value* a, Value* b, std::string name) {
+  return binary(Opcode::Mul, a, b, std::move(name), false);
+}
+Value* IRBuilder::sdiv(Value* a, Value* b, std::string name) {
+  return binary(Opcode::SDiv, a, b, std::move(name), false);
+}
+Value* IRBuilder::srem(Value* a, Value* b, std::string name) {
+  return binary(Opcode::SRem, a, b, std::move(name), false);
+}
+Value* IRBuilder::and_(Value* a, Value* b, std::string name) {
+  return binary(Opcode::And, a, b, std::move(name), false);
+}
+Value* IRBuilder::or_(Value* a, Value* b, std::string name) {
+  return binary(Opcode::Or, a, b, std::move(name), false);
+}
+Value* IRBuilder::xor_(Value* a, Value* b, std::string name) {
+  return binary(Opcode::Xor, a, b, std::move(name), false);
+}
+Value* IRBuilder::shl(Value* a, Value* b, std::string name) {
+  return binary(Opcode::Shl, a, b, std::move(name), false);
+}
+Value* IRBuilder::ashr(Value* a, Value* b, std::string name) {
+  return binary(Opcode::AShr, a, b, std::move(name), false);
+}
+Value* IRBuilder::lshr(Value* a, Value* b, std::string name) {
+  return binary(Opcode::LShr, a, b, std::move(name), false);
+}
+
+Value* IRBuilder::fadd(Value* a, Value* b, std::string name) {
+  return binary(Opcode::FAdd, a, b, std::move(name), true);
+}
+Value* IRBuilder::fsub(Value* a, Value* b, std::string name) {
+  return binary(Opcode::FSub, a, b, std::move(name), true);
+}
+Value* IRBuilder::fmul(Value* a, Value* b, std::string name) {
+  return binary(Opcode::FMul, a, b, std::move(name), true);
+}
+Value* IRBuilder::fdiv(Value* a, Value* b, std::string name) {
+  return binary(Opcode::FDiv, a, b, std::move(name), true);
+}
+Value* IRBuilder::fmin(Value* a, Value* b, std::string name) {
+  return binary(Opcode::FMin, a, b, std::move(name), true);
+}
+Value* IRBuilder::fmax(Value* a, Value* b, std::string name) {
+  return binary(Opcode::FMax, a, b, std::move(name), true);
+}
+
+Value* IRBuilder::fneg(Value* a, std::string name) {
+  CAYMAN_ASSERT(a->type()->isFloat(), "fneg needs a float");
+  return emit(Opcode::FNeg, a->type(), {a}, std::move(name));
+}
+Value* IRBuilder::fsqrt(Value* a, std::string name) {
+  CAYMAN_ASSERT(a->type()->isFloat(), "fsqrt needs a float");
+  return emit(Opcode::FSqrt, a->type(), {a}, std::move(name));
+}
+Value* IRBuilder::fabs_(Value* a, std::string name) {
+  CAYMAN_ASSERT(a->type()->isFloat(), "fabs needs a float");
+  return emit(Opcode::FAbs, a->type(), {a}, std::move(name));
+}
+
+Value* IRBuilder::icmp(CmpPred pred, Value* a, Value* b, std::string name) {
+  CAYMAN_ASSERT(a->type() == b->type() &&
+                    (a->type()->isInteger() || a->type()->isPointer()),
+                "icmp operand mismatch");
+  Instruction* inst = emit(Opcode::ICmp, Type::i1(), {a, b}, std::move(name));
+  inst->setCmpPred(pred);
+  return inst;
+}
+
+Value* IRBuilder::fcmp(CmpPred pred, Value* a, Value* b, std::string name) {
+  CAYMAN_ASSERT(a->type() == b->type() && a->type()->isFloat(),
+                "fcmp operand mismatch");
+  Instruction* inst = emit(Opcode::FCmp, Type::i1(), {a, b}, std::move(name));
+  inst->setCmpPred(pred);
+  return inst;
+}
+
+Value* IRBuilder::select(Value* cond, Value* ifTrue, Value* ifFalse,
+                         std::string name) {
+  CAYMAN_ASSERT(cond->type() == Type::i1(), "select condition must be i1");
+  CAYMAN_ASSERT(ifTrue->type() == ifFalse->type(), "select arm type mismatch");
+  return emit(Opcode::Select, ifTrue->type(), {cond, ifTrue, ifFalse},
+              std::move(name));
+}
+
+Value* IRBuilder::zext(Value* v, const Type* to, std::string name) {
+  CAYMAN_ASSERT(v->type()->isInteger() && to->isInteger() &&
+                    to->bitWidth() > v->type()->bitWidth(),
+                "invalid zext");
+  return emit(Opcode::ZExt, to, {v}, std::move(name));
+}
+Value* IRBuilder::sext(Value* v, const Type* to, std::string name) {
+  CAYMAN_ASSERT(v->type()->isInteger() && to->isInteger() &&
+                    to->bitWidth() > v->type()->bitWidth(),
+                "invalid sext");
+  return emit(Opcode::SExt, to, {v}, std::move(name));
+}
+Value* IRBuilder::trunc(Value* v, const Type* to, std::string name) {
+  CAYMAN_ASSERT(v->type()->isInteger() && to->isInteger() &&
+                    to->bitWidth() < v->type()->bitWidth(),
+                "invalid trunc");
+  return emit(Opcode::Trunc, to, {v}, std::move(name));
+}
+Value* IRBuilder::sitofp(Value* v, const Type* to, std::string name) {
+  CAYMAN_ASSERT(v->type()->isInteger() && to->isFloat(), "invalid sitofp");
+  return emit(Opcode::SIToFP, to, {v}, std::move(name));
+}
+Value* IRBuilder::fptosi(Value* v, const Type* to, std::string name) {
+  CAYMAN_ASSERT(v->type()->isFloat() && to->isInteger(), "invalid fptosi");
+  return emit(Opcode::FPToSI, to, {v}, std::move(name));
+}
+
+Value* IRBuilder::gep(Value* base, Value* index, const Type* elemType,
+                      std::string name) {
+  CAYMAN_ASSERT(base->type()->isPointer(), "gep base must be a pointer");
+  CAYMAN_ASSERT(index->type()->isInteger(), "gep index must be an integer");
+  Instruction* inst =
+      emit(Opcode::Gep, Type::ptr(), {base, index}, std::move(name));
+  inst->setGepElemSize(elemType->sizeBytes());
+  return inst;
+}
+
+Value* IRBuilder::load(const Type* type, Value* ptr, std::string name) {
+  CAYMAN_ASSERT(ptr->type()->isPointer(), "load from non-pointer");
+  return emit(Opcode::Load, type, {ptr}, std::move(name));
+}
+
+Instruction* IRBuilder::store(Value* value, Value* ptr) {
+  CAYMAN_ASSERT(ptr->type()->isPointer(), "store to non-pointer");
+  return emit(Opcode::Store, Type::voidTy(), {value, ptr}, "");
+}
+
+Instruction* IRBuilder::phi(const Type* type, std::string name) {
+  CAYMAN_ASSERT(block_ != nullptr, "no insertion point");
+  CAYMAN_ASSERT(block_->empty() ||
+                    block_->instructions().back()->opcode() == Opcode::Phi,
+                "phi must precede non-phi instructions");
+  return emit(Opcode::Phi, type, {}, std::move(name));
+}
+
+Instruction* IRBuilder::br(BasicBlock* dest) {
+  Instruction* inst = emit(Opcode::Br, Type::voidTy(), {}, "");
+  inst->setSuccessors({dest});
+  return inst;
+}
+
+Instruction* IRBuilder::condBr(Value* cond, BasicBlock* ifTrue,
+                               BasicBlock* ifFalse) {
+  CAYMAN_ASSERT(cond->type() == Type::i1(), "branch condition must be i1");
+  Instruction* inst = emit(Opcode::CondBr, Type::voidTy(), {cond}, "");
+  inst->setSuccessors({ifTrue, ifFalse});
+  return inst;
+}
+
+Value* IRBuilder::call(Function* callee, std::vector<Value*> args,
+                       std::string name) {
+  CAYMAN_ASSERT(callee != nullptr, "null callee");
+  CAYMAN_ASSERT(args.size() == callee->numArguments(),
+                "call argument count mismatch for " + callee->name());
+  for (size_t i = 0; i < args.size(); ++i) {
+    CAYMAN_ASSERT(args[i]->type() == callee->argument(i)->type(),
+                  "call argument type mismatch for " + callee->name());
+  }
+  Instruction* inst =
+      emit(Opcode::Call, callee->returnType(), std::move(args),
+           callee->returnType()->isVoid() ? "" : std::move(name));
+  inst->setCallee(callee);
+  return inst;
+}
+
+Instruction* IRBuilder::ret(Value* value) {
+  std::vector<Value*> operands;
+  if (value != nullptr) operands.push_back(value);
+  return emit(Opcode::Ret, Type::voidTy(), std::move(operands), "");
+}
+
+}  // namespace cayman::ir

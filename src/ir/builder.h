@@ -1,0 +1,83 @@
+// IRBuilder: convenience factory for instructions at an insertion point.
+#pragma once
+
+#include "ir/module.h"
+
+namespace cayman::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module* module) : module_(module) {}
+
+  Module* module() const { return module_; }
+
+  void setInsertPoint(BasicBlock* block) { block_ = block; }
+  BasicBlock* insertBlock() const { return block_; }
+
+  // --- Integer arithmetic ---------------------------------------------------
+  Value* add(Value* a, Value* b, std::string name = "");
+  Value* sub(Value* a, Value* b, std::string name = "");
+  Value* mul(Value* a, Value* b, std::string name = "");
+  Value* sdiv(Value* a, Value* b, std::string name = "");
+  Value* srem(Value* a, Value* b, std::string name = "");
+  Value* and_(Value* a, Value* b, std::string name = "");
+  Value* or_(Value* a, Value* b, std::string name = "");
+  Value* xor_(Value* a, Value* b, std::string name = "");
+  Value* shl(Value* a, Value* b, std::string name = "");
+  Value* ashr(Value* a, Value* b, std::string name = "");
+  Value* lshr(Value* a, Value* b, std::string name = "");
+
+  // --- Floating point ---------------------------------------------------------
+  Value* fadd(Value* a, Value* b, std::string name = "");
+  Value* fsub(Value* a, Value* b, std::string name = "");
+  Value* fmul(Value* a, Value* b, std::string name = "");
+  Value* fdiv(Value* a, Value* b, std::string name = "");
+  Value* fneg(Value* a, std::string name = "");
+  Value* fsqrt(Value* a, std::string name = "");
+  Value* fabs_(Value* a, std::string name = "");
+  Value* fmin(Value* a, Value* b, std::string name = "");
+  Value* fmax(Value* a, Value* b, std::string name = "");
+
+  // --- Comparisons / select ----------------------------------------------------
+  Value* icmp(CmpPred pred, Value* a, Value* b, std::string name = "");
+  Value* fcmp(CmpPred pred, Value* a, Value* b, std::string name = "");
+  Value* select(Value* cond, Value* ifTrue, Value* ifFalse,
+                std::string name = "");
+
+  // --- Conversions ------------------------------------------------------------
+  Value* zext(Value* v, const Type* to, std::string name = "");
+  Value* sext(Value* v, const Type* to, std::string name = "");
+  Value* trunc(Value* v, const Type* to, std::string name = "");
+  Value* sitofp(Value* v, const Type* to, std::string name = "");
+  Value* fptosi(Value* v, const Type* to, std::string name = "");
+
+  // --- Memory -----------------------------------------------------------------
+  /// Address arithmetic: base + index * elemType->sizeBytes().
+  Value* gep(Value* base, Value* index, const Type* elemType,
+             std::string name = "");
+  Value* load(const Type* type, Value* ptr, std::string name = "");
+  Instruction* store(Value* value, Value* ptr);
+
+  // --- Control flow -------------------------------------------------------------
+  Instruction* phi(const Type* type, std::string name = "");
+  Instruction* br(BasicBlock* dest);
+  Instruction* condBr(Value* cond, BasicBlock* ifTrue, BasicBlock* ifFalse);
+  Value* call(Function* callee, std::vector<Value*> args,
+              std::string name = "");
+  Instruction* ret(Value* value = nullptr);
+
+  // --- Constants shorthand --------------------------------------------------------
+  ConstantInt* i64(int64_t v) { return module_->constI64(v); }
+  ConstantInt* i32(int64_t v) { return module_->constI32(v); }
+  ConstantFP* f64(double v) { return module_->constF64(v); }
+
+ private:
+  Instruction* emit(Opcode op, const Type* type, std::vector<Value*> operands,
+                    std::string name);
+  Value* binary(Opcode op, Value* a, Value* b, std::string name, bool isFloat);
+
+  Module* module_;
+  BasicBlock* block_ = nullptr;
+};
+
+}  // namespace cayman::ir

@@ -1,0 +1,58 @@
+// Function: arguments plus a CFG of basic blocks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+
+namespace cayman::ir {
+
+class Module;
+
+class Function {
+ public:
+  Function(Module* parent, std::string name, const Type* returnType,
+           std::vector<std::pair<const Type*, std::string>> params);
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  Module* parent() const { return parent_; }
+  const std::string& name() const { return name_; }
+  const Type* returnType() const { return returnType_; }
+
+  const std::vector<std::unique_ptr<Argument>>& arguments() const {
+    return args_;
+  }
+  Argument* argument(size_t i) const { return args_.at(i).get(); }
+  size_t numArguments() const { return args_.size(); }
+
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const {
+    return blocks_;
+  }
+  BasicBlock* entry() const {
+    CAYMAN_ASSERT(!blocks_.empty(), "function has no blocks");
+    return blocks_.front().get();
+  }
+  size_t numBlocks() const { return blocks_.size(); }
+
+  /// Creates and appends a new basic block.
+  BasicBlock* addBlock(std::string name);
+  /// Looks a block up by name; nullptr when absent.
+  BasicBlock* blockByName(std::string_view name) const;
+
+  /// Gives every unnamed value a unique printable name (%0, %1, ... / bb0...)
+  /// and de-duplicates clashes. Called by the printer and verifier.
+  void assignNames();
+
+ private:
+  Module* parent_;
+  std::string name_;
+  const Type* returnType_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+}  // namespace cayman::ir

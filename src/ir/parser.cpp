@@ -1,0 +1,577 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace cayman::ir {
+
+namespace {
+
+bool isNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '_' ||
+         c == '-';
+}
+
+/// Character cursor over one line with error reporting.
+class Cursor {
+ public:
+  Cursor(std::string_view text, int lineNo) : text_(text), lineNo_(lineNo) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error("IR parse error at line " + std::to_string(lineNo_) + ": " +
+                message + " (near '" + std::string(rest()) + "')");
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool tryConsume(std::string_view token) {
+    skipSpace();
+    if (text_.substr(pos_).substr(0, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void expect(std::string_view token) {
+    if (!tryConsume(token)) fail("expected '" + std::string(token) + "'");
+  }
+
+  char peek() {
+    skipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  /// Reads an identifier-like word ([A-Za-z0-9._-]+).
+  std::string word() {
+    skipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && isNameChar(text_[pos_])) ++pos_;
+    if (pos_ == start) fail("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Reads a (possibly signed / fractional / exponent) numeric literal.
+  std::string number() {
+    skipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view rest() const { return text_.substr(pos_); }
+
+  int line() const { return lineNo_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int lineNo_;
+};
+
+struct PendingRef {
+  Instruction* user;
+  size_t operandIndex;
+  std::string name;
+  int line;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) {
+    for (std::string_view line : split(text, '\n')) {
+      lines_.push_back(trim(line));
+    }
+  }
+
+  std::unique_ptr<Module> run() {
+    // Module header: module "<name>" {
+    size_t headerLine = next("module header");
+    std::string_view raw = lines_[headerLine];
+    size_t open = raw.find('"');
+    size_t close = raw.rfind('"');
+    if (!startsWith(raw, "module") || open == std::string_view::npos ||
+        close <= open || raw.find('{', close) == std::string_view::npos) {
+      cursorAt(headerLine).fail("expected: module \"<name>\" {");
+    }
+    module_ = std::make_unique<Module>(
+        std::string(raw.substr(open + 1, close - open - 1)));
+
+    // Pre-scan function signatures so calls can reference later functions.
+    prescanFunctions();
+
+    while (true) {
+      size_t lineNo = next("module body");
+      Cursor c = cursorAt(lineNo);
+      if (c.tryConsume("}")) break;
+      if (c.tryConsume("global")) {
+        parseGlobal(c);
+      } else if (c.tryConsume("func")) {
+        parseFunction(lineNo);
+      } else {
+        c.fail("expected 'global', 'func' or '}'");
+      }
+    }
+    return std::move(module_);
+  }
+
+ private:
+  Cursor cursorAt(size_t index) const {
+    return Cursor(lines_[index], static_cast<int>(index) + 1);
+  }
+
+  /// Advances to the next non-empty line and returns its index.
+  size_t next(const std::string& context) {
+    while (pos_ < lines_.size() && lines_[pos_].empty()) ++pos_;
+    if (pos_ >= lines_.size()) {
+      throw Error("IR parse error: unexpected end of input in " + context);
+    }
+    return pos_++;
+  }
+
+  const Type* parseType(Cursor& c) {
+    std::string spelling = c.word();
+    const Type* type = Type::byName(spelling.c_str());
+    if (type == nullptr) c.fail("unknown type '" + spelling + "'");
+    return type;
+  }
+
+  void parseGlobal(Cursor& c) {
+    c.expect("@");
+    std::string name = c.word();
+    c.expect(":");
+    const Type* elemType = parseType(c);
+    c.expect("[");
+    uint64_t numElems = std::strtoull(c.number().c_str(), nullptr, 10);
+    c.expect("]");
+    GlobalArray* global =
+        module_->addGlobal(std::move(name), elemType, numElems);
+    if (c.tryConsume("=")) {
+      c.expect("[");
+      std::vector<double> init;
+      init.reserve(numElems);
+      if (!c.tryConsume("]")) {
+        while (true) {
+          init.push_back(std::strtod(c.number().c_str(), nullptr));
+          if (c.tryConsume("]")) break;
+          c.expect(",");
+        }
+      }
+      global->setInit(std::move(init));
+    }
+  }
+
+  void prescanFunctions() {
+    for (size_t i = pos_; i < lines_.size(); ++i) {
+      Cursor c = cursorAt(i);
+      if (!c.tryConsume("func")) continue;
+      c.expect("@");
+      std::string name = c.word();
+      c.expect("(");
+      std::vector<std::pair<const Type*, std::string>> params;
+      if (!c.tryConsume(")")) {
+        while (true) {
+          c.expect("%");
+          std::string paramName = c.word();
+          c.expect(":");
+          params.emplace_back(parseType(c), paramName);
+          if (c.tryConsume(")")) break;
+          c.expect(",");
+        }
+      }
+      c.expect("->");
+      const Type* returnType = parseType(c);
+      module_->addFunction(std::move(name), returnType, std::move(params));
+    }
+  }
+
+  void parseFunction(size_t signatureLine) {
+    Cursor sig = cursorAt(signatureLine);
+    sig.expect("func");
+    sig.expect("@");
+    Function* function = module_->functionByName(sig.word());
+    CAYMAN_ASSERT(function != nullptr, "function missed by pre-scan");
+
+    values_.clear();
+    pending_.clear();
+    placeholders_.clear();
+    for (const auto& arg : function->arguments()) {
+      values_[arg->name()] = arg.get();
+    }
+
+    // First pass: collect block labels and result types for forward refs.
+    std::map<std::string, const Type*> resultTypes;
+    std::vector<size_t> bodyLines;
+    for (size_t i = pos_;; ++i) {
+      if (i >= lines_.size()) {
+        throw Error("IR parse error: function @" + function->name() +
+                    " not terminated by '}'");
+      }
+      std::string_view line = lines_[i];
+      if (line.empty()) continue;
+      if (line == "}") {
+        for (size_t j = pos_; j < i; ++j) bodyLines.push_back(j);
+        pos_ = i + 1;
+        break;
+      }
+      if (line.back() == ':') {
+        function->addBlock(std::string(line.substr(0, line.size() - 1)));
+      } else if (line[0] == '%') {
+        Cursor c = cursorAt(i);
+        c.expect("%");
+        std::string name = c.word();
+        c.expect("=");
+        resultTypes[name] = scanResultType(c, function);
+      }
+    }
+
+    // Second pass: build instructions.
+    BasicBlock* current = nullptr;
+    for (size_t lineNo : bodyLines) {
+      std::string_view line = lines_[lineNo];
+      if (line.empty()) continue;
+      if (line.back() == ':') {
+        current = function->blockByName(line.substr(0, line.size() - 1));
+        continue;
+      }
+      Cursor c = cursorAt(lineNo);
+      if (current == nullptr) c.fail("instruction before first block label");
+      parseInstruction(c, function, current, resultTypes);
+    }
+
+    // Resolve forward references.
+    for (const PendingRef& ref : pending_) {
+      auto it = values_.find(ref.name);
+      if (it == values_.end()) {
+        throw Error("IR parse error at line " + std::to_string(ref.line) +
+                    ": undefined value %" + ref.name);
+      }
+      ref.user->setOperand(ref.operandIndex, it->second);
+    }
+    for (auto& placeholder : placeholders_) {
+      CAYMAN_ASSERT(!placeholder->hasUsers(), "unresolved placeholder use");
+    }
+  }
+
+  /// Determines the result type of an instruction line without building it.
+  const Type* scanResultType(Cursor& c, Function* /*function*/) {
+    std::string op = c.word();
+    if (op == "icmp" || op == "fcmp") return Type::i1();
+    if (op == "gep") return Type::ptr();
+    if (op == "call") {
+      c.expect("@");
+      Function* callee = module_->functionByName(c.word());
+      if (callee == nullptr) c.fail("call to unknown function");
+      return callee->returnType();
+    }
+    if (op == "zext" || op == "sext" || op == "trunc" || op == "sitofp" ||
+        op == "fptosi") {
+      parseType(c);  // source type
+      if (c.tryConsume("%") || c.tryConsume("@")) {
+        c.word();
+      } else {
+        c.number();
+      }
+      c.expect("to");
+      return parseType(c);
+    }
+    // Every remaining producing opcode spells the result type next.
+    return parseType(c);
+  }
+
+  /// Parses an operand reference of known type.
+  Value* parseOperand(Cursor& c, const Type* type, Instruction** fixupUser,
+                      std::vector<std::pair<size_t, std::string>>* fixups,
+                      size_t operandIndex) {
+    (void)fixupUser;
+    if (c.tryConsume("@")) {
+      std::string name = c.word();
+      GlobalArray* global = module_->globalByName(name);
+      if (global == nullptr) c.fail("unknown global @" + name);
+      return global;
+    }
+    if (c.tryConsume("%")) {
+      std::string name = c.word();
+      auto it = values_.find(name);
+      if (it != values_.end()) return it->second;
+      // Forward reference: create a typed placeholder, fix up later.
+      const Type* refType = type;
+      if (refType == nullptr) c.fail("forward reference %" + name +
+                                     " in a position without a known type");
+      fixups->emplace_back(operandIndex, name);
+      placeholders_.push_back(
+          std::make_unique<Argument>(refType, "$placeholder." + name, 0u));
+      return placeholders_.back().get();
+    }
+    // Literal constant.
+    if (type == nullptr) c.fail("literal constant in an untyped position");
+    std::string text = c.number();
+    if (type->isFloat()) {
+      return module_->constFP(type, std::strtod(text.c_str(), nullptr));
+    }
+    if (type->isInteger()) {
+      return module_->constInt(type,
+                               std::strtoll(text.c_str(), nullptr, 10));
+    }
+    c.fail("literal constant cannot have pointer type");
+  }
+
+  BasicBlock* parseBlockRef(Cursor& c, Function* function) {
+    std::string name = c.word();
+    BasicBlock* block = function->blockByName(name);
+    if (block == nullptr) c.fail("unknown block '" + name + "'");
+    return block;
+  }
+
+  void parseInstruction(Cursor& c, Function* function, BasicBlock* block,
+                        const std::map<std::string, const Type*>& resultTypes) {
+    std::string resultName;
+    if (c.tryConsume("%")) {
+      resultName = c.word();
+      c.expect("=");
+    }
+    std::string op = c.word();
+    std::vector<std::pair<size_t, std::string>> fixups;
+
+    auto finish = [&](std::unique_ptr<Instruction> inst) {
+      Instruction* raw = block->append(std::move(inst));
+      if (!resultName.empty()) {
+        raw->setName(resultName);
+        values_[resultName] = raw;
+      }
+      for (auto& [operandIndex, name] : fixups) {
+        pending_.push_back({raw, operandIndex, name, c.line()});
+      }
+      return raw;
+    };
+
+    auto typeOfRef = [&](const std::string& name) -> const Type* {
+      auto it = resultTypes.find(name);
+      return it == resultTypes.end() ? nullptr : it->second;
+    };
+    (void)typeOfRef;
+
+    if (op == "icmp" || op == "fcmp") {
+      std::string predName = c.word();
+      CmpPred pred = CmpPred::EQ;
+      bool found = false;
+      for (CmpPred p : {CmpPred::EQ, CmpPred::NE, CmpPred::LT, CmpPred::LE,
+                        CmpPred::GT, CmpPred::GE}) {
+        if (predName == cmpPredSpelling(p)) {
+          pred = p;
+          found = true;
+        }
+      }
+      if (!found) c.fail("unknown predicate '" + predName + "'");
+      const Type* operandType = parseType(c);
+      Value* a = parseOperand(c, operandType, nullptr, &fixups, 0);
+      c.expect(",");
+      Value* b = parseOperand(c, operandType, nullptr, &fixups, 1);
+      auto inst = std::make_unique<Instruction>(
+          op == "icmp" ? Opcode::ICmp : Opcode::FCmp, Type::i1(),
+          std::vector<Value*>{a, b}, "");
+      inst->setCmpPred(pred);
+      finish(std::move(inst));
+      return;
+    }
+
+    if (op == "gep") {
+      Value* base = parseOperand(c, Type::ptr(), nullptr, &fixups, 0);
+      c.expect(",");
+      Value* index = parseOperand(c, Type::i64(), nullptr, &fixups, 1);
+      c.expect(",");
+      c.expect("elem");
+      unsigned elemSize =
+          static_cast<unsigned>(std::strtoul(c.number().c_str(), nullptr, 10));
+      auto inst = std::make_unique<Instruction>(
+          Opcode::Gep, Type::ptr(), std::vector<Value*>{base, index}, "");
+      inst->setGepElemSize(elemSize);
+      finish(std::move(inst));
+      return;
+    }
+
+    if (op == "load") {
+      const Type* type = parseType(c);
+      c.expect(",");
+      Value* ptr = parseOperand(c, Type::ptr(), nullptr, &fixups, 0);
+      finish(std::make_unique<Instruction>(Opcode::Load, type,
+                                           std::vector<Value*>{ptr}, ""));
+      return;
+    }
+
+    if (op == "store") {
+      const Type* type = parseType(c);
+      Value* value = parseOperand(c, type, nullptr, &fixups, 0);
+      c.expect(",");
+      Value* ptr = parseOperand(c, Type::ptr(), nullptr, &fixups, 1);
+      finish(std::make_unique<Instruction>(Opcode::Store, Type::voidTy(),
+                                           std::vector<Value*>{value, ptr},
+                                           ""));
+      return;
+    }
+
+    if (op == "br") {
+      BasicBlock* dest = parseBlockRef(c, function);
+      auto inst = std::make_unique<Instruction>(Opcode::Br, Type::voidTy(),
+                                                std::vector<Value*>{}, "");
+      inst->setSuccessors({dest});
+      finish(std::move(inst));
+      return;
+    }
+
+    if (op == "condbr") {
+      Value* cond = parseOperand(c, Type::i1(), nullptr, &fixups, 0);
+      c.expect(",");
+      BasicBlock* ifTrue = parseBlockRef(c, function);
+      c.expect(",");
+      BasicBlock* ifFalse = parseBlockRef(c, function);
+      auto inst = std::make_unique<Instruction>(
+          Opcode::CondBr, Type::voidTy(), std::vector<Value*>{cond}, "");
+      inst->setSuccessors({ifTrue, ifFalse});
+      finish(std::move(inst));
+      return;
+    }
+
+    if (op == "phi") {
+      const Type* type = parseType(c);
+      auto inst = std::make_unique<Instruction>(Opcode::Phi, type,
+                                                std::vector<Value*>{}, "");
+      Instruction* raw = finish(std::move(inst));
+      size_t operandIndex = 0;
+      while (c.tryConsume("[")) {
+        // addIncoming registers the use; use a placeholder path via fixups.
+        std::vector<std::pair<size_t, std::string>> phiFixups;
+        Value* value = parseOperand(c, type, nullptr, &phiFixups, operandIndex);
+        c.expect(",");
+        BasicBlock* incomingBlock = parseBlockRef(c, function);
+        c.expect("]");
+        raw->addIncoming(value, incomingBlock);
+        for (auto& [idx, name] : phiFixups) {
+          pending_.push_back({raw, idx, name, c.line()});
+        }
+        ++operandIndex;
+        if (!c.tryConsume(",")) break;
+      }
+      return;
+    }
+
+    if (op == "call") {
+      c.expect("@");
+      Function* callee = module_->functionByName(c.word());
+      if (callee == nullptr) c.fail("call to unknown function");
+      c.expect("(");
+      std::vector<Value*> args;
+      if (!c.tryConsume(")")) {
+        while (true) {
+          const Type* argType = callee->argument(args.size())->type();
+          args.push_back(
+              parseOperand(c, argType, nullptr, &fixups, args.size()));
+          if (c.tryConsume(")")) break;
+          c.expect(",");
+        }
+      }
+      auto inst = std::make_unique<Instruction>(
+          Opcode::Call, callee->returnType(), std::move(args), "");
+      inst->setCallee(callee);
+      finish(std::move(inst));
+      return;
+    }
+
+    if (op == "ret") {
+      std::vector<Value*> operands;
+      if (!c.atEnd()) {
+        const Type* type = parseType(c);
+        operands.push_back(parseOperand(c, type, nullptr, &fixups, 0));
+      }
+      finish(std::make_unique<Instruction>(Opcode::Ret, Type::voidTy(),
+                                           std::move(operands), ""));
+      return;
+    }
+
+    if (op == "zext" || op == "sext" || op == "trunc" || op == "sitofp" ||
+        op == "fptosi") {
+      const Type* fromType = parseType(c);
+      Value* value = parseOperand(c, fromType, nullptr, &fixups, 0);
+      c.expect("to");
+      const Type* toType = parseType(c);
+      Opcode opcode = op == "zext"     ? Opcode::ZExt
+                      : op == "sext"   ? Opcode::SExt
+                      : op == "trunc"  ? Opcode::Trunc
+                      : op == "sitofp" ? Opcode::SIToFP
+                                       : Opcode::FPToSI;
+      finish(std::make_unique<Instruction>(opcode, toType,
+                                           std::vector<Value*>{value}, ""));
+      return;
+    }
+
+    // Generic arithmetic / select form: "<op> <type> a, b, ...".
+    static const std::map<std::string, std::pair<Opcode, int>> kGeneric = {
+        {"add", {Opcode::Add, 2}},     {"sub", {Opcode::Sub, 2}},
+        {"mul", {Opcode::Mul, 2}},     {"sdiv", {Opcode::SDiv, 2}},
+        {"srem", {Opcode::SRem, 2}},   {"and", {Opcode::And, 2}},
+        {"or", {Opcode::Or, 2}},       {"xor", {Opcode::Xor, 2}},
+        {"shl", {Opcode::Shl, 2}},     {"ashr", {Opcode::AShr, 2}},
+        {"lshr", {Opcode::LShr, 2}},   {"fadd", {Opcode::FAdd, 2}},
+        {"fsub", {Opcode::FSub, 2}},   {"fmul", {Opcode::FMul, 2}},
+        {"fdiv", {Opcode::FDiv, 2}},   {"fneg", {Opcode::FNeg, 1}},
+        {"fsqrt", {Opcode::FSqrt, 1}}, {"fabs", {Opcode::FAbs, 1}},
+        {"fmin", {Opcode::FMin, 2}},   {"fmax", {Opcode::FMax, 2}},
+        {"select", {Opcode::Select, 3}},
+    };
+    auto it = kGeneric.find(op);
+    if (it == kGeneric.end()) c.fail("unknown opcode '" + op + "'");
+    auto [opcode, arity] = it->second;
+    const Type* type = parseType(c);
+    std::vector<Value*> operands;
+    for (int i = 0; i < arity; ++i) {
+      if (i > 0) c.expect(",");
+      const Type* operandType =
+          (opcode == Opcode::Select && i == 0) ? Type::i1() : type;
+      operands.push_back(parseOperand(c, operandType, nullptr, &fixups,
+                                      static_cast<size_t>(i)));
+    }
+    finish(std::make_unique<Instruction>(opcode, type, std::move(operands),
+                                         ""));
+  }
+
+  std::vector<std::string_view> lines_;
+  size_t pos_ = 0;
+  // Placeholders must outlive the module: on error paths instructions may
+  // still reference them, and Module teardown unregisters those uses.
+  std::vector<std::unique_ptr<Value>> placeholders_;
+  std::unique_ptr<Module> module_;
+  std::map<std::string, Value*> values_;
+  std::vector<PendingRef> pending_;
+};
+
+}  // namespace
+
+std::unique_ptr<Module> parseModule(const std::string& text) {
+  return Parser(text).run();
+}
+
+}  // namespace cayman::ir

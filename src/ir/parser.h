@@ -1,0 +1,16 @@
+// Parser for the textual IR emitted by printer.h. Round-trip guarantee:
+// parse(printModule(m)) reproduces an isomorphic module.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/module.h"
+
+namespace cayman::ir {
+
+/// Parses a module from text; throws cayman::Error with line information on
+/// syntax or semantic errors.
+std::unique_ptr<Module> parseModule(const std::string& text);
+
+}  // namespace cayman::ir

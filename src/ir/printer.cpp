@@ -1,0 +1,161 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace cayman::ir {
+
+namespace {
+
+std::string valueRef(const Value* value) {
+  switch (value->valueKind()) {
+    case ValueKind::ConstantInt:
+      return std::to_string(static_cast<const ConstantInt*>(value)->value());
+    case ValueKind::ConstantFP: {
+      std::ostringstream os;
+      os << static_cast<const ConstantFP*>(value)->value();
+      std::string text = os.str();
+      // Keep FP literals recognizable to the parser.
+      if (text.find('.') == std::string::npos &&
+          text.find('e') == std::string::npos &&
+          text.find("inf") == std::string::npos &&
+          text.find("nan") == std::string::npos) {
+        text += ".0";
+      }
+      return text;
+    }
+    case ValueKind::GlobalArray:
+      return "@" + value->name();
+    default:
+      return "%" + value->name();
+  }
+}
+
+void printInstructionTo(std::ostringstream& os, const Instruction& inst) {
+  if (!inst.type()->isVoid()) os << "%" << inst.name() << " = ";
+  os << opcodeSpelling(inst.opcode());
+
+  switch (inst.opcode()) {
+    case Opcode::ICmp:
+    case Opcode::FCmp:
+      os << " " << cmpPredSpelling(inst.cmpPred()) << " "
+         << inst.operand(0)->type()->spelling() << " "
+         << valueRef(inst.operand(0)) << ", " << valueRef(inst.operand(1));
+      break;
+    case Opcode::Gep:
+      os << " " << valueRef(inst.operand(0)) << ", "
+         << valueRef(inst.operand(1)) << ", elem " << inst.gepElemSize();
+      break;
+    case Opcode::Load:
+      os << " " << inst.type()->spelling() << ", " << valueRef(inst.operand(0));
+      break;
+    case Opcode::Store:
+      os << " " << inst.operand(0)->type()->spelling() << " "
+         << valueRef(inst.operand(0)) << ", " << valueRef(inst.operand(1));
+      break;
+    case Opcode::Br:
+      os << " " << inst.successors()[0]->name();
+      break;
+    case Opcode::CondBr:
+      os << " " << valueRef(inst.operand(0)) << ", "
+         << inst.successors()[0]->name() << ", "
+         << inst.successors()[1]->name();
+      break;
+    case Opcode::Phi: {
+      os << " " << inst.type()->spelling();
+      for (size_t i = 0; i < inst.numOperands(); ++i) {
+        os << (i == 0 ? " " : ", ") << "[ " << valueRef(inst.operand(i))
+           << ", " << inst.incomingBlocks()[i]->name() << " ]";
+      }
+      break;
+    }
+    case Opcode::Call: {
+      os << " @" << inst.callee()->name() << "(";
+      for (size_t i = 0; i < inst.numOperands(); ++i) {
+        if (i > 0) os << ", ";
+        os << valueRef(inst.operand(i));
+      }
+      os << ")";
+      break;
+    }
+    case Opcode::Ret:
+      if (inst.numOperands() == 1) {
+        os << " " << inst.operand(0)->type()->spelling() << " "
+           << valueRef(inst.operand(0));
+      }
+      break;
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc:
+    case Opcode::SIToFP:
+    case Opcode::FPToSI:
+      os << " " << inst.operand(0)->type()->spelling() << " "
+         << valueRef(inst.operand(0)) << " to " << inst.type()->spelling();
+      break;
+    default: {
+      // Generic form: op <type> a, b, ...
+      os << " " << inst.type()->spelling();
+      for (size_t i = 0; i < inst.numOperands(); ++i) {
+        os << (i == 0 ? " " : ", ") << valueRef(inst.operand(i));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string printInstruction(const Instruction& inst) {
+  std::ostringstream os;
+  printInstructionTo(os, inst);
+  return os.str();
+}
+
+std::string printFunction(Function& function) {
+  function.assignNames();
+  std::ostringstream os;
+  os << "func @" << function.name() << "(";
+  for (size_t i = 0; i < function.numArguments(); ++i) {
+    if (i > 0) os << ", ";
+    const Argument* arg = function.argument(i);
+    os << "%" << arg->name() << ": " << arg->type()->spelling();
+  }
+  os << ") -> " << function.returnType()->spelling() << " {\n";
+  for (const auto& block : function.blocks()) {
+    os << block->name() << ":\n";
+    for (const auto& inst : block->instructions()) {
+      os << "  ";
+      printInstructionTo(os, *inst);
+      os << "\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string printModule(const Module& module) {
+  std::ostringstream os;
+  os << "module \"" << module.name() << "\" {\n";
+  for (const auto& global : module.globals()) {
+    os << "global @" << global->name() << " : "
+       << global->elemType()->spelling() << "[" << global->numElems() << "]";
+    if (global->hasInit()) {
+      os << " = [";
+      char buffer[32];
+      for (size_t i = 0; i < global->init().size(); ++i) {
+        std::snprintf(buffer, sizeof(buffer), "%.17g", global->init()[i]);
+        os << (i == 0 ? "" : ", ") << buffer;
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  for (const auto& function : module.functions()) {
+    os << "\n" << printFunction(*function);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cayman::ir

@@ -1,0 +1,20 @@
+// Textual IR output (stable format, round-trips through the parser).
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace cayman::ir {
+
+/// Renders a whole module. Calls Function::assignNames() on each function to
+/// guarantee unique printable names.
+std::string printModule(const Module& module);
+
+/// Renders one function.
+std::string printFunction(Function& function);
+
+/// Renders a single instruction (operands by current name; no renaming).
+std::string printInstruction(const Instruction& inst);
+
+}  // namespace cayman::ir

@@ -1,0 +1,84 @@
+#include "ir/type.h"
+
+#include <cstring>
+
+namespace cayman::ir {
+
+unsigned Type::bitWidth() const {
+  switch (kind_) {
+    case Kind::Void: return 0;
+    case Kind::I1: return 1;
+    case Kind::I32: return 32;
+    case Kind::I64: return 64;
+    case Kind::F32: return 32;
+    case Kind::F64: return 64;
+    case Kind::Ptr: return 64;
+  }
+  CAYMAN_ASSERT(false, "unreachable type kind");
+}
+
+unsigned Type::sizeBytes() const {
+  switch (kind_) {
+    case Kind::Void: return 0;
+    case Kind::I1: return 1;
+    case Kind::I32: return 4;
+    case Kind::I64: return 8;
+    case Kind::F32: return 4;
+    case Kind::F64: return 8;
+    case Kind::Ptr: return 8;
+  }
+  CAYMAN_ASSERT(false, "unreachable type kind");
+}
+
+const char* Type::spelling() const {
+  switch (kind_) {
+    case Kind::Void: return "void";
+    case Kind::I1: return "i1";
+    case Kind::I32: return "i32";
+    case Kind::I64: return "i64";
+    case Kind::F32: return "f32";
+    case Kind::F64: return "f64";
+    case Kind::Ptr: return "ptr";
+  }
+  CAYMAN_ASSERT(false, "unreachable type kind");
+}
+
+// Interned singletons. constexpr construction keeps them in .rodata.
+const Type* Type::voidTy() {
+  static constexpr Type t{Kind::Void};
+  return &t;
+}
+const Type* Type::i1() {
+  static constexpr Type t{Kind::I1};
+  return &t;
+}
+const Type* Type::i32() {
+  static constexpr Type t{Kind::I32};
+  return &t;
+}
+const Type* Type::i64() {
+  static constexpr Type t{Kind::I64};
+  return &t;
+}
+const Type* Type::f32() {
+  static constexpr Type t{Kind::F32};
+  return &t;
+}
+const Type* Type::f64() {
+  static constexpr Type t{Kind::F64};
+  return &t;
+}
+const Type* Type::ptr() {
+  static constexpr Type t{Kind::Ptr};
+  return &t;
+}
+
+const Type* Type::byName(const char* spelling) {
+  const Type* all[] = {voidTy(), i1(), i32(), i64(), f32(), f64(), ptr()};
+  for (const Type* t : all) {
+    if (std::strcmp(t->spelling(), spelling) == 0) return t;
+  }
+  return nullptr;
+}
+
+}  // namespace cayman::ir

@@ -1,0 +1,55 @@
+// Type system for the Cayman IR.
+//
+// The IR is intentionally small: scalar integers, scalar floats, an opaque
+// pointer type (element sizes live on GEP instructions, mirroring modern
+// LLVM's opaque pointers), and void for functions without a result.
+#pragma once
+
+#include "support/error.h"
+
+namespace cayman::ir {
+
+/// An immutable, interned type. Obtain instances through the static
+/// accessors; compare with pointer equality.
+class Type {
+ public:
+  enum class Kind { Void, I1, I32, I64, F32, F64, Ptr };
+
+  Kind kind() const { return kind_; }
+
+  bool isVoid() const { return kind_ == Kind::Void; }
+  bool isInteger() const {
+    return kind_ == Kind::I1 || kind_ == Kind::I32 || kind_ == Kind::I64;
+  }
+  bool isFloat() const { return kind_ == Kind::F32 || kind_ == Kind::F64; }
+  bool isPointer() const { return kind_ == Kind::Ptr; }
+
+  /// Bit width of scalar types (pointers count as 64).
+  unsigned bitWidth() const;
+  /// Storage size in bytes; void has none.
+  unsigned sizeBytes() const;
+
+  /// Short textual spelling ("i32", "f64", "ptr", ...).
+  const char* spelling() const;
+
+  static const Type* voidTy();
+  static const Type* i1();
+  static const Type* i32();
+  static const Type* i64();
+  static const Type* f32();
+  static const Type* f64();
+  static const Type* ptr();
+
+  /// Looks a type up by its spelling; returns nullptr when unknown.
+  static const Type* byName(const char* spelling);
+
+  Type(const Type&) = delete;
+  Type& operator=(const Type&) = delete;
+
+ private:
+  explicit constexpr Type(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+};
+
+}  // namespace cayman::ir

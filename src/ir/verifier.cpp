@@ -1,0 +1,141 @@
+#include "ir/verifier.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace cayman::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const Module& module) : module_(module) {}
+
+  std::vector<std::string> run() {
+    for (const auto& function : module_.functions()) check(*function);
+    return std::move(errors_);
+  }
+
+ private:
+  void error(const Function& f, const std::string& message) {
+    errors_.push_back("in @" + f.name() + ": " + message);
+  }
+
+  void check(const Function& f) {
+    if (f.blocks().empty()) {
+      error(f, "function has no blocks");
+      return;
+    }
+
+    std::set<const BasicBlock*> blocks;
+    for (const auto& block : f.blocks()) blocks.insert(block.get());
+
+    // Predecessor map for phi validation.
+    std::map<const BasicBlock*, std::set<const BasicBlock*>> preds;
+    for (const auto& block : f.blocks()) {
+      const Instruction* term = block->terminator();
+      if (term == nullptr) {
+        error(f, "block " + block->name() + " has no terminator");
+        continue;
+      }
+      for (const BasicBlock* succ : term->successors()) {
+        if (blocks.count(succ) == 0) {
+          error(f, "block " + block->name() +
+                       " branches to a block outside the function");
+        } else {
+          preds[succ].insert(block.get());
+        }
+      }
+    }
+
+    if (!preds[f.entry()].empty()) {
+      error(f, "entry block has predecessors");
+    }
+
+    std::set<const Value*> defined;
+    for (const auto& arg : f.arguments()) defined.insert(arg.get());
+    for (const auto& block : f.blocks()) {
+      for (const auto& inst : block->instructions()) {
+        defined.insert(inst.get());
+      }
+    }
+
+    for (const auto& block : f.blocks()) {
+      bool seenNonPhi = false;
+      for (size_t i = 0; i < block->instructions().size(); ++i) {
+        const Instruction& inst = *block->instructions()[i];
+        const bool isLast = i + 1 == block->instructions().size();
+
+        if (inst.isTerminator() && !isLast) {
+          error(f, "terminator mid-block in " + block->name());
+        }
+        if (inst.opcode() == Opcode::Phi) {
+          if (seenNonPhi) {
+            error(f, "phi after non-phi in " + block->name());
+          }
+          checkPhi(f, *block, inst, preds[block.get()]);
+        } else {
+          seenNonPhi = true;
+        }
+
+        for (const Value* operand : inst.operands()) {
+          const bool isInstOrArg =
+              operand->valueKind() == ValueKind::Instruction ||
+              operand->valueKind() == ValueKind::Argument;
+          if (isInstOrArg && defined.count(operand) == 0) {
+            error(f, "instruction in " + block->name() +
+                         " uses a value from another function");
+          }
+        }
+
+        if (inst.opcode() == Opcode::Ret) {
+          const bool wantsValue = !f.returnType()->isVoid();
+          if (wantsValue != (inst.numOperands() == 1)) {
+            error(f, "ret arity does not match return type");
+          } else if (wantsValue &&
+                     inst.operand(0)->type() != f.returnType()) {
+            error(f, "ret value type does not match return type");
+          }
+        }
+        if (inst.opcode() == Opcode::Gep && inst.gepElemSize() == 0) {
+          error(f, "gep with zero element size in " + block->name());
+        }
+      }
+    }
+  }
+
+  void checkPhi(const Function& f, const BasicBlock& block,
+                const Instruction& phi,
+                const std::set<const BasicBlock*>& preds) {
+    std::set<const BasicBlock*> incoming(phi.incomingBlocks().begin(),
+                                         phi.incomingBlocks().end());
+    if (incoming.size() != phi.incomingBlocks().size()) {
+      error(f, "phi in " + block.name() + " lists a block twice");
+    }
+    if (incoming != preds) {
+      error(f, "phi in " + block.name() +
+                   " incoming blocks do not match predecessors");
+    }
+  }
+
+  const Module& module_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> verifyModule(const Module& module) {
+  return Verifier(module).run();
+}
+
+void verifyOrThrow(const Module& module) {
+  std::vector<std::string> errors = verifyModule(module);
+  if (errors.empty()) return;
+  std::ostringstream os;
+  os << "module " << module.name() << " failed verification:";
+  for (const std::string& e : errors) os << "\n  " << e;
+  throw Error(os.str());
+}
+
+}  // namespace cayman::ir

@@ -1,0 +1,21 @@
+// Structural IR verifier.
+//
+// The analyses and transforms in this repository assume well-formed,
+// structured IR; the verifier front-loads those assumptions so violations
+// fail loudly at construction time instead of corrupting results later.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace cayman::ir {
+
+/// Returns all well-formedness violations (empty means the module verifies).
+std::vector<std::string> verifyModule(const Module& module);
+
+/// Convenience wrapper that throws cayman::Error listing every violation.
+void verifyOrThrow(const Module& module);
+
+}  // namespace cayman::ir

@@ -1,0 +1,171 @@
+#include "merge/merger.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace cayman::merge {
+
+namespace {
+
+using OpClass = std::pair<ir::Opcode, bool>;  // opcode, wide (>= 64 bit)
+using OpCounts = std::map<OpClass, unsigned>;
+
+/// A mergeable datapath unit: the operator multiset of one basic block
+/// (times its unroll replication), tagged with its owning accelerator.
+struct Unit {
+  OpCounts ops;
+  size_t acceleratorIndex = 0;
+  bool alive = true;
+};
+
+const ir::Type* typeForArea(const ir::Instruction& inst) {
+  // Stores are void-typed; their datapath width is the stored value's.
+  if (inst.opcode() == ir::Opcode::Store) return inst.operand(0)->type();
+  return inst.type();
+}
+
+unsigned unrollOf(const accel::AcceleratorConfig& config,
+                  const ir::BasicBlock* block,
+                  const analysis::Region* region) {
+  (void)region;
+  // The block replicates per the unroll factor of its innermost configured
+  // loop (conservatively 1 when it is not inside a configured loop).
+  for (const accel::LoopConfig& lc : config.loops) {
+    if (lc.loop != nullptr && lc.loop->contains(block)) {
+      return std::max(1u, lc.unroll);
+    }
+  }
+  return 1;
+}
+
+std::vector<Unit> extractUnits(const select::Solution& solution) {
+  std::vector<Unit> units;
+  for (size_t a = 0; a < solution.accelerators.size(); ++a) {
+    const accel::AcceleratorConfig& config = solution.accelerators[a];
+    for (const ir::BasicBlock* block : config.region->blocks()) {
+      Unit unit;
+      unit.acceleratorIndex = a;
+      unsigned unroll = unrollOf(config, block, config.region);
+      for (const auto& inst : block->instructions()) {
+        if (inst->opcode() == ir::Opcode::Phi || inst->isTerminator()) {
+          continue;
+        }
+        const ir::Type* type = typeForArea(*inst);
+        unit.ops[{inst->opcode(), type->bitWidth() >= 64}] += unroll;
+      }
+      if (!unit.ops.empty()) units.push_back(std::move(unit));
+    }
+  }
+  return units;
+}
+
+unsigned operandCount(ir::Opcode op) {
+  switch (op) {
+    case ir::Opcode::FNeg: case ir::Opcode::FSqrt: case ir::Opcode::FAbs:
+    case ir::Opcode::ZExt: case ir::Opcode::SExt: case ir::Opcode::Trunc:
+    case ir::Opcode::SIToFP: case ir::Opcode::FPToSI: case ir::Opcode::Load:
+      return 1;
+    case ir::Opcode::Select:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+}  // namespace
+
+double AcceleratorMerger::pairSaving(const OpCounts& a,
+                                     const OpCounts& b) const {
+  double saving = 0.0;
+  for (const auto& [opClass, countA] : a) {
+    auto it = b.find(opClass);
+    if (it == b.end()) continue;
+    unsigned shared = std::min(countA, it->second);
+    const ir::Type* type =
+        opClass.second ? ir::Type::i64() : ir::Type::i32();
+    double opArea = tech_.opInfo(opClass.first, type).areaUm2;
+    unsigned bits = opClass.second ? 64 : 32;
+    // Each shared operator needs a 2:1 mux per operand input plus
+    // reconfiguration bits selecting the active kernel.
+    double muxCost = operandCount(opClass.first) *
+                         (2.0 * bits * tech_.muxAreaPerInputBit) +
+                     2.0 * tech_.configBitArea;
+    saving += shared * (opArea - muxCost);
+  }
+  return saving;
+}
+
+MergeResult AcceleratorMerger::run(const select::Solution& solution) const {
+  MergeResult result;
+  result.areaBeforeUm2 = solution.areaUm2;
+  result.areaAfterUm2 = solution.areaUm2;
+  if (solution.accelerators.size() < 1) return result;
+
+  std::vector<Unit> units = extractUnits(solution);
+
+  // Union-find over accelerators to track reusable groups.
+  std::vector<size_t> parent(solution.accelerators.size());
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    return parent[x] == x ? x : parent[x] = find(parent[x]);
+  };
+
+  double totalSaving = 0.0;
+  while (true) {
+    double bestSaving = 0.0;
+    size_t bestI = 0, bestJ = 0;
+    for (size_t i = 0; i < units.size(); ++i) {
+      if (!units[i].alive) continue;
+      for (size_t j = i + 1; j < units.size(); ++j) {
+        if (!units[j].alive) continue;
+        double saving = pairSaving(units[i].ops, units[j].ops);
+        if (saving > bestSaving) {
+          bestSaving = saving;
+          bestI = i;
+          bestJ = j;
+        }
+      }
+    }
+    if (bestSaving <= 0.0) break;
+
+    // Merge j into i: the reconfigurable unit carries the op maximum.
+    Unit& into = units[bestI];
+    Unit& from = units[bestJ];
+    for (const auto& [opClass, count] : from.ops) {
+      into.ops[opClass] = std::max(into.ops[opClass], count);
+    }
+    from.alive = false;
+    parent[find(from.acceleratorIndex)] = find(into.acceleratorIndex);
+    totalSaving += bestSaving;
+    ++result.mergeSteps;
+  }
+
+  result.areaAfterUm2 = solution.areaUm2 - totalSaving;
+
+  // A merged group additionally pays for one global Ctrl unit (paper Fig. 5)
+  // but drops the per-accelerator wrapper of all but one member.
+  std::map<size_t, int> groupSizes;
+  for (size_t a = 0; a < solution.accelerators.size(); ++a) {
+    ++groupSizes[find(a)];
+  }
+  int reusable = 0;
+  int kernelsInReusable = 0;
+  for (const auto& [root, size] : groupSizes) {
+    (void)root;
+    if (size >= 2) {
+      ++reusable;
+      kernelsInReusable += size;
+      result.areaAfterUm2 += tech_.mergeCtrlArea;
+      result.areaAfterUm2 -= tech_.acceleratorWrapperArea * (size - 1);
+    }
+  }
+  result.reusableAccelerators = reusable;
+  result.avgKernelsPerReusable =
+      reusable == 0 ? 0.0
+                    : static_cast<double>(kernelsInReusable) / reusable;
+  result.areaAfterUm2 = std::max(result.areaAfterUm2, 0.0);
+  return result;
+}
+
+}  // namespace cayman::merge

@@ -1,0 +1,49 @@
+// Accelerator merging (paper §III-E): share reconfigurable datapath units
+// between basic blocks of different kernels so one reusable accelerator
+// serves multiple program regions — FSMs stay per-kernel, datapath operators
+// get multiplexed inputs plus reconfiguration bits.
+#pragma once
+
+#include "hls/tech_library.h"
+#include "select/solution.h"
+
+namespace cayman::merge {
+
+/// Outcome of merging one solution's accelerators.
+struct MergeResult {
+  double areaBeforeUm2 = 0.0;
+  double areaAfterUm2 = 0.0;
+  /// Number of pairwise merge steps performed.
+  int mergeSteps = 0;
+  /// Reusable accelerators produced (groups of >= 2 original kernels).
+  int reusableAccelerators = 0;
+  /// Average original kernels per reusable accelerator.
+  double avgKernelsPerReusable = 0.0;
+
+  double savingPercent() const {
+    if (areaBeforeUm2 <= 0.0) return 0.0;
+    return 100.0 * (areaBeforeUm2 - areaAfterUm2) / areaBeforeUm2;
+  }
+};
+
+class AcceleratorMerger {
+ public:
+  explicit AcceleratorMerger(const hls::TechLibrary& tech) : tech_(tech) {}
+
+  /// Greedy merging: repeatedly merge the basic-block pair with the maximum
+  /// estimated area saving until no positive saving remains. Execution time
+  /// is unaffected — kernels are offloaded one at a time, so a shared
+  /// datapath never serializes anything that ran in parallel before.
+  MergeResult run(const select::Solution& solution) const;
+
+  /// Estimated net area saving of merging two op multisets (shared operator
+  /// area minus multiplexer / config-bit overhead). Exposed for tests.
+  double pairSaving(const std::map<std::pair<ir::Opcode, bool>, unsigned>& a,
+                    const std::map<std::pair<ir::Opcode, bool>, unsigned>& b)
+      const;
+
+ private:
+  const hls::TechLibrary& tech_;
+};
+
+}  // namespace cayman::merge

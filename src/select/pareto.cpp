@@ -1,0 +1,56 @@
+#include "select/pareto.h"
+
+#include <algorithm>
+
+namespace cayman::select {
+
+std::vector<Solution> pareto(std::vector<Solution> solutions,
+                             double clockRatio) {
+  std::sort(solutions.begin(), solutions.end(),
+            [clockRatio](const Solution& a, const Solution& b) {
+              if (a.areaUm2 != b.areaUm2) return a.areaUm2 < b.areaUm2;
+              return a.savedCycles(clockRatio) > b.savedCycles(clockRatio);
+            });
+  std::vector<Solution> front;
+  double bestSaved = -1e300;
+  for (Solution& s : solutions) {
+    double saved = s.savedCycles(clockRatio);
+    bool keep = s.empty() ? front.empty() : saved > bestSaved;
+    if (!keep) continue;
+    bestSaved = std::max(bestSaved, saved);
+    front.push_back(std::move(s));
+  }
+  return front;
+}
+
+std::vector<Solution> filterByAlpha(std::vector<Solution> solutions,
+                                    double alpha) {
+  if (solutions.size() <= 2 || alpha <= 1.0) return solutions;
+  std::vector<Solution> kept;
+  kept.push_back(std::move(solutions.front()));
+  // Always retain the final (best-performing) solution.
+  for (size_t i = 1; i + 1 < solutions.size(); ++i) {
+    double previousArea = kept.back().areaUm2;
+    if (solutions[i].areaUm2 > alpha * std::max(previousArea, 1.0)) {
+      kept.push_back(std::move(solutions[i]));
+    }
+  }
+  kept.push_back(std::move(solutions.back()));
+  return kept;
+}
+
+std::vector<Solution> combine(const std::vector<Solution>& a,
+                              const std::vector<Solution>& b,
+                              double areaBudget, double clockRatio) {
+  std::vector<Solution> merged;
+  merged.reserve(a.size() * b.size());
+  for (const Solution& x : a) {
+    for (const Solution& y : b) {
+      if (x.areaUm2 + y.areaUm2 > areaBudget) continue;
+      merged.push_back(Solution::merge(x, y));
+    }
+  }
+  return pareto(std::move(merged), clockRatio);
+}
+
+}  // namespace cayman::select

@@ -1,0 +1,28 @@
+// Pareto sequences and the α-filter of Algorithm 1.
+#pragma once
+
+#include <vector>
+
+#include "select/solution.h"
+
+namespace cayman::select {
+
+/// Area-ascending Pareto front over (area, saved cycles): keeps solutions
+/// where more area strictly buys more saved time. The empty solution (area
+/// 0) always survives.
+std::vector<Solution> pareto(std::vector<Solution> solutions,
+                             double clockRatio);
+
+/// Paper's `filter`: walking the Pareto sequence in ascending area, drop
+/// solutions until the next kept one has area > alpha * previous kept area.
+/// Bounds the sequence length to log_alpha(A).
+std::vector<Solution> filterByAlpha(std::vector<Solution> solutions,
+                                    double alpha);
+
+/// The ⊗ operation: pairwise unions of solutions from two disjoint subtrees,
+/// Pareto-reduced, and truncated to the area budget.
+std::vector<Solution> combine(const std::vector<Solution>& a,
+                              const std::vector<Solution>& b,
+                              double areaBudget, double clockRatio);
+
+}  // namespace cayman::select

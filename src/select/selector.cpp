@@ -1,0 +1,73 @@
+#include "select/selector.h"
+
+namespace cayman::select {
+
+using analysis::Region;
+using analysis::RegionKind;
+
+std::vector<Solution> CandidateSelector::dp(const Region* region) {
+  ++stats_.regionsVisited;
+
+  // prune(v, R): regions that are not hotspots cannot pay for themselves —
+  // skip the whole subtree (their descendants are at most as hot). Root and
+  // Function vertices are structural and never pruned.
+  if ((region->isBb() || region->isCtrlFlow()) &&
+      model_.profile().hotFraction(region) < params_.pruneHotFraction) {
+    ++stats_.regionsPruned;
+    return {Solution{}};
+  }
+
+  std::vector<Solution> front{Solution{}};
+
+  if (region->kind() == RegionKind::Bb) {
+    std::vector<Solution> options{Solution{}};
+    for (const accel::AcceleratorConfig& config : model_.generate(region)) {
+      ++stats_.configsGenerated;
+      if (config.areaUm2 > params_.areaBudgetUm2) continue;
+      options.push_back(Solution::fromConfig(config));
+    }
+    return filterByAlpha(pareto(std::move(options), params_.clockRatio),
+                         params_.alpha);
+  }
+
+  // Combine children subtrees (⊗ over siblings).
+  for (const auto& child : region->children()) {
+    std::vector<Solution> childFront = dp(child.get());
+    front = filterByAlpha(
+        combine(front, childFront, params_.areaBudgetUm2, params_.clockRatio),
+        params_.alpha);
+  }
+
+  // ctrl-flow regions may alternatively be selected whole.
+  if (region->isCtrlFlow()) {
+    for (const accel::AcceleratorConfig& config : model_.generate(region)) {
+      ++stats_.configsGenerated;
+      if (config.areaUm2 > params_.areaBudgetUm2) continue;
+      front.push_back(Solution::fromConfig(config));
+    }
+    front = filterByAlpha(pareto(std::move(front), params_.clockRatio),
+                          params_.alpha);
+  }
+  return front;
+}
+
+std::vector<Solution> CandidateSelector::select() {
+  stats_ = Stats{};
+  return dp(model_.wpst().root());
+}
+
+Solution CandidateSelector::best() {
+  std::vector<Solution> front = select();
+  Solution bestSolution;
+  double bestSaved = 0.0;
+  for (Solution& s : front) {
+    double saved = s.savedCycles(params_.clockRatio);
+    if (saved > bestSaved) {
+      bestSaved = saved;
+      bestSolution = std::move(s);
+    }
+  }
+  return bestSolution;
+}
+
+}  // namespace cayman::select

@@ -1,0 +1,54 @@
+// Candidate selection (paper §III-D, Algorithm 1): a knapsack over the wPST
+// solved by dynamic programming with Pareto sequences, the ⊗ combine, the
+// α-filter and heuristic hotspot pruning.
+#pragma once
+
+#include "accel/model.h"
+#include "select/pareto.h"
+
+namespace cayman::select {
+
+struct SelectorParams {
+  /// Knapsack area limit (um^2). Table II uses 25% / 65% of a CVA6 tile.
+  double areaBudgetUm2 = 0.0;
+  /// Filter ratio α: neighbouring kept solutions differ in area by > α.
+  double alpha = 1.12;
+  /// Prune regions whose profiled share of T_all is below this fraction.
+  double pruneHotFraction = 5e-4;
+  /// Accelerator clock period over CPU clock period (Eq. 1's 1/F in CPU
+  /// cycle units). 1.25 = 500 MHz accelerators beside a 625 MHz CVA6 on the
+  /// same 45nm node.
+  double clockRatio = 1.25;
+};
+
+class CandidateSelector {
+ public:
+  CandidateSelector(const accel::AcceleratorModel& model,
+                    SelectorParams params)
+      : model_(model), params_(params) {}
+
+  /// Runs Algorithm 1 and returns F[root]: the Pareto-optimal solution
+  /// sequence under the area budget, ascending in area.
+  std::vector<Solution> select();
+
+  /// The single best solution under the budget (last of select()).
+  Solution best();
+
+  struct Stats {
+    int regionsVisited = 0;
+    int regionsPruned = 0;
+    int configsGenerated = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const SelectorParams& params() const { return params_; }
+
+ private:
+  std::vector<Solution> dp(const analysis::Region* region);
+
+  const accel::AcceleratorModel& model_;
+  SelectorParams params_;
+  Stats stats_;
+};
+
+}  // namespace cayman::select

@@ -1,0 +1,54 @@
+// Selection solutions: sets of non-overlapping accelerated kernels.
+#pragma once
+
+#include "accel/config.h"
+
+namespace cayman::select {
+
+/// One candidate-selection solution φ (paper §III-D): one or more
+/// non-overlapping kernels, each with an accelerator configuration.
+struct Solution {
+  std::vector<accel::AcceleratorConfig> accelerators;
+  double areaUm2 = 0.0;
+  /// Total accelerator cycles across the run (Cycle_cand, accelerator clock).
+  double accelCycles = 0.0;
+  /// CPU cycles the selected kernels used to take (T_cand, CPU clock).
+  double cpuCycles = 0.0;
+
+  bool empty() const { return accelerators.empty(); }
+
+  /// CPU cycles saved per run when accelerator cycles are scaled into CPU
+  /// cycle units by `clockRatio` (= accel period / CPU period).
+  double savedCycles(double clockRatio) const {
+    return cpuCycles - accelCycles * clockRatio;
+  }
+
+  /// Whole-application speedup per Eq. 1.
+  double speedup(double totalCpuCycles, double clockRatio) const {
+    double remaining = totalCpuCycles - cpuCycles + accelCycles * clockRatio;
+    if (remaining <= 0.0) return 1.0;
+    return totalCpuCycles / remaining;
+  }
+
+  /// Concatenates two solutions over disjoint wPST subtrees.
+  static Solution merge(const Solution& a, const Solution& b) {
+    Solution merged = a;
+    merged.accelerators.insert(merged.accelerators.end(),
+                               b.accelerators.begin(), b.accelerators.end());
+    merged.areaUm2 += b.areaUm2;
+    merged.accelCycles += b.accelCycles;
+    merged.cpuCycles += b.cpuCycles;
+    return merged;
+  }
+
+  static Solution fromConfig(const accel::AcceleratorConfig& config) {
+    Solution s;
+    s.accelerators.push_back(config);
+    s.areaUm2 = config.areaUm2;
+    s.accelCycles = config.cycles;
+    s.cpuCycles = config.cpuCycles;
+    return s;
+  }
+};
+
+}  // namespace cayman::select

@@ -1,0 +1,58 @@
+#include "sim/cpu_model.h"
+
+#include "ir/basic_block.h"
+
+namespace cayman::sim {
+
+double CpuCostModel::cost(const ir::Instruction& inst) const {
+  using ir::Opcode;
+  switch (inst.opcode()) {
+    case Opcode::Add: case Opcode::Sub: case Opcode::And: case Opcode::Or:
+    case Opcode::Xor: case Opcode::Shl: case Opcode::AShr: case Opcode::LShr:
+    case Opcode::ICmp: case Opcode::Select: case Opcode::Gep:
+      return intAlu;
+    case Opcode::Mul:
+      return intMul;
+    case Opcode::SDiv: case Opcode::SRem:
+      return intDiv;
+    case Opcode::FAdd: case Opcode::FSub: case Opcode::FNeg:
+    case Opcode::FAbs: case Opcode::FMin: case Opcode::FMax:
+      return fpAdd;
+    case Opcode::FMul:
+      return fpMul;
+    case Opcode::FDiv:
+      return fpDiv;
+    case Opcode::FSqrt:
+      return fpSqrt;
+    case Opcode::FCmp:
+      return fpCmp;
+    case Opcode::ZExt: case Opcode::SExt: case Opcode::Trunc:
+      return intAlu;
+    case Opcode::SIToFP: case Opcode::FPToSI:
+      return convert;
+    case Opcode::Load:
+      return load;
+    case Opcode::Store:
+      return store;
+    case Opcode::Br: case Opcode::CondBr:
+      return branch;
+    case Opcode::Call: case Opcode::Ret:
+      return call;
+    case Opcode::Phi:
+      return phi;
+  }
+  return intAlu;
+}
+
+double CpuCostModel::blockCost(const ir::BasicBlock& block) const {
+  double total = 0.0;
+  for (const auto& inst : block.instructions()) {
+    total += cost(*inst);
+    if (inst->opcode() != ir::Opcode::Phi) total += issueOverhead;
+  }
+  return total;
+}
+
+CpuCostModel CpuCostModel::cva6() { return CpuCostModel{}; }
+
+}  // namespace cayman::sim

@@ -1,0 +1,44 @@
+// In-order scalar CPU cost model (CVA6-class RISC-V core).
+//
+// Substitutes for the paper's hardware profiling runs: the interpreter
+// attributes these per-instruction cycle costs to regions, yielding the
+// region durations and execution counts candidate selection consumes.
+#pragma once
+
+#include "ir/instruction.h"
+
+namespace cayman::sim {
+
+class CpuCostModel {
+ public:
+  /// Cycle cost of one dynamic execution of `inst`.
+  double cost(const ir::Instruction& inst) const;
+
+  /// Static cost of a block body (sum over its instructions).
+  double blockCost(const ir::BasicBlock& block) const;
+
+  /// Latencies tuned to an application-class in-order RV64GC core
+  /// (CVA6 [32]): single-issue, blocking L1 loads, iterative divider.
+  static CpuCostModel cva6();
+
+  // Individual latencies (cycles); public so tests/benches can inspect them.
+  double intAlu = 1.0;
+  double intMul = 3.0;
+  double intDiv = 20.0;
+  double fpAdd = 4.0;
+  double fpMul = 5.0;
+  double fpDiv = 18.0;
+  double fpSqrt = 22.0;
+  double fpCmp = 2.0;
+  double convert = 2.0;
+  double load = 2.0;    ///< L1-hit average
+  double store = 1.0;
+  double branch = 2.0;  ///< average with misprediction amortized
+  double call = 4.0;
+  double phi = 0.0;     ///< resolved by register renaming / copies
+  /// Per-instruction issue/hazard overhead of the single-issue in-order
+  /// pipeline (structural stalls, RAW bubbles) added on top of latency.
+  double issueOverhead = 0.5;
+};
+
+}  // namespace cayman::sim

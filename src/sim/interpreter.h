@@ -1,0 +1,69 @@
+// IR interpreter with cycle accounting — Cayman's profiling substrate.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "sim/cpu_model.h"
+#include "sim/memory.h"
+
+namespace cayman::sim {
+
+/// One SSA value at runtime (integer or float payload per the static type).
+struct Slot {
+  int64_t i = 0;
+  double f = 0.0;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const ir::Module& module,
+                       CpuCostModel model = CpuCostModel::cva6());
+
+  struct Result {
+    double totalCycles = 0.0;
+    uint64_t instructions = 0;
+    std::unordered_map<const ir::BasicBlock*, uint64_t> blockCounts;
+    std::optional<Slot> returnValue;
+
+    uint64_t countOf(const ir::BasicBlock* block) const {
+      auto it = blockCounts.find(block);
+      return it == blockCounts.end() ? 0 : it->second;
+    }
+  };
+
+  /// Executes the module's entry function. Integer arguments map
+  /// positionally; missing arguments default to zero.
+  Result run(std::span<const int64_t> args = {});
+  /// Executes a specific function.
+  Result runFunction(const ir::Function& function,
+                     std::span<const int64_t> args = {});
+
+  SimMemory& memory() { return memory_; }
+  const SimMemory& memory() const { return memory_; }
+  const CpuCostModel& costModel() const { return model_; }
+
+  /// Abort execution after this many dynamic instructions (runaway guard).
+  void setInstructionLimit(uint64_t limit) { instructionLimit_ = limit; }
+
+ private:
+  struct Numbering {
+    std::unordered_map<const ir::Value*, int> index;
+    int count = 0;
+  };
+
+  const Numbering& numberingFor(const ir::Function& function);
+  Slot execFunction(const ir::Function& function, std::vector<Slot> args,
+                    Result& result, int depth);
+
+  const ir::Module& module_;
+  CpuCostModel model_;
+  SimMemory memory_;
+  std::unordered_map<const ir::Function*, Numbering> numberings_;
+  std::unordered_map<const ir::BasicBlock*, double> blockCost_;
+  uint64_t instructionLimit_ = 2'000'000'000;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace cayman::sim

@@ -1,0 +1,43 @@
+// Flat byte-addressed memory for the IR interpreter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace cayman::sim {
+
+/// Lays the module's globals out in one flat address space, applies explicit
+/// initializers, and fills the rest with a deterministic pseudo-random
+/// pattern so profiles are reproducible.
+class SimMemory {
+ public:
+  explicit SimMemory(const ir::Module& module);
+
+  uint64_t baseOf(const ir::GlobalArray* global) const;
+
+  int64_t loadInt(uint64_t address, const ir::Type* type) const;
+  double loadFloat(uint64_t address, const ir::Type* type) const;
+  void storeInt(uint64_t address, const ir::Type* type, int64_t value);
+  void storeFloat(uint64_t address, const ir::Type* type, double value);
+
+  /// Typed element accessors for tests and workload validation.
+  double readElemF64(const ir::GlobalArray* global, uint64_t index) const;
+  int64_t readElemI64(const ir::GlobalArray* global, uint64_t index) const;
+
+  size_t sizeBytes() const { return bytes_.size(); }
+
+ private:
+  const std::byte* at(uint64_t address, size_t size) const;
+  std::byte* at(uint64_t address, size_t size);
+
+  static constexpr uint64_t kBase = 0x1000;
+
+  std::vector<std::byte> bytes_;
+  std::map<const ir::GlobalArray*, uint64_t> bases_;
+};
+
+}  // namespace cayman::sim

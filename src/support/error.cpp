@@ -1,0 +1,11 @@
+#include "support/error.h"
+
+namespace cayman {
+
+void assertFail(const char* expr, const char* file, int line,
+                const std::string& message) {
+  throw Error(std::string("assertion failed: ") + expr + " at " + file + ":" +
+              std::to_string(line) + ": " + message);
+}
+
+}  // namespace cayman

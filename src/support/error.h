@@ -1,0 +1,30 @@
+// Error handling utilities for the Cayman framework.
+//
+// The framework uses exceptions for unrecoverable misuse (malformed IR,
+// analysis preconditions violated) and CAYMAN_ASSERT for internal invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cayman {
+
+/// Thrown when a framework precondition is violated (malformed IR fed to an
+/// analysis, parser syntax errors, invalid configuration parameters, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Internal: builds the assertion failure message and throws.
+[[noreturn]] void assertFail(const char* expr, const char* file, int line,
+                             const std::string& message);
+
+}  // namespace cayman
+
+/// Invariant check that stays enabled in release builds: the framework is a
+/// research tool where a wrong answer is worse than an abort.
+#define CAYMAN_ASSERT(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) ::cayman::assertFail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,22 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cayman {
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with fixed precision (no locale surprises).
+std::string formatFixed(double value, int digits);
+
+}  // namespace cayman

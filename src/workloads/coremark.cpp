@@ -1,0 +1,376 @@
+// CoreMark-Pro-style workloads. Originals are not redistributable here; the
+// synthetic equivalents keep each benchmark's defining structure: hotspot
+// spread, control-flow richness, integer-vs-float mix, and (for
+// loops-all-mid) floating-point loop-carried recurrences that bound II.
+#include "workloads/kernel_builder.h"
+#include "workloads/workloads.h"
+
+namespace cayman::workloads {
+
+namespace {
+
+using ir::CmpPred;
+using ir::GlobalArray;
+using ir::Instruction;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+/// cjpeg-rose7-preset: JPEG-like compression pass over a different image
+/// shape, with chroma subsampling ahead of the transform.
+std::unique_ptr<Module> buildCjpegRose() {
+  constexpr int64_t n = 32, elems = n * n;
+  auto m = std::make_unique<Module>("cjpeg-rose7-preset");
+  auto* r = m->addGlobal("r", Type::f64(), elems);
+  auto* g = m->addGlobal("g", Type::f64(), elems);
+  auto* b = m->addGlobal("b", Type::f64(), elems);
+  auto* ycc = m->addGlobal("ycc", Type::f64(), elems);
+  auto* cb = m->addGlobal("cb", Type::f64(), elems / 4);
+  auto* freq = m->addGlobal("freq", Type::f64(), elems);
+  auto* coef = m->addGlobal("coef", Type::f64(), 64);
+  auto* quant = m->addGlobal("quant", Type::f64(), 64);
+  auto* stats = m->addGlobal("stats", Type::i64(), 2);
+  stats->setInit(std::vector<double>(2, 0.0));
+  std::vector<double> qinit(64);
+  for (int k = 0; k < 64; ++k) qinit[static_cast<size_t>(k)] = 1.0 + k * 0.2;
+  quant->setInit(qinit);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  // Colour transform.
+  {
+    Value* i = kb.beginLoop(0, elems, "ycc");
+    Value* y = kb.ir().fadd(
+        kb.ir().fadd(kb.ir().fmul(kb.loadAt(r, i), kb.ir().f64(0.299)),
+                     kb.ir().fmul(kb.loadAt(g, i), kb.ir().f64(0.587))),
+        kb.ir().fmul(kb.loadAt(b, i), kb.ir().f64(0.114)));
+    kb.storeAt(ycc, i, y);
+    kb.endLoop();
+  }
+  // 2x2 chroma subsampling.
+  {
+    Value* i = kb.beginLoop(0, n / 2, "sub.i");
+    Value* j = kb.beginLoop(0, n / 2, "sub.j");
+    Value* si = kb.ir().mul(i, kb.ir().i64(2));
+    Value* sj = kb.ir().mul(j, kb.ir().i64(2));
+    Value* a = kb.loadAt(ycc, kb.idx2(si, sj, n));
+    Value* bb = kb.loadAt(ycc, kb.idx2(si, kb.ir().add(sj, kb.ir().i64(1)),
+                                       n));
+    Value* c = kb.loadAt(ycc, kb.idx2(kb.ir().add(si, kb.ir().i64(1)), sj,
+                                      n));
+    Value* d = kb.loadAt(
+        ycc, kb.idx2(kb.ir().add(si, kb.ir().i64(1)),
+                     kb.ir().add(sj, kb.ir().i64(1)), n));
+    Value* avg = kb.ir().fmul(kb.ir().fadd(kb.ir().fadd(a, bb),
+                                           kb.ir().fadd(c, d)),
+                              kb.ir().f64(0.25));
+    kb.storeAt(cb, kb.idx2(i, j, n / 2), avg);
+    kb.endLoop();
+    kb.endLoop();
+  }
+  // Block transform (row-only pass: 1-D DCT per 8-pixel strip).
+  {
+    Value* row = kb.beginLoop(0, n, "dct.row");
+    Value* blk = kb.beginLoop(0, n / 8, "dct.blk");
+    Value* u = kb.beginLoop(0, 8, "dct.u");
+    Value* x = kb.beginLoop(0, 8, "dct.x");
+    Instruction* acc = kb.reduction(Type::f64(), kb.ir().f64(0.0), "acc");
+    Value* col = kb.ir().add(kb.ir().mul(blk, kb.ir().i64(8)), x);
+    Value* pix = kb.loadAt(ycc, kb.idx2(row, col, n));
+    Value* cf = kb.loadAt(coef, kb.idx2(u, x, 8));
+    kb.setReductionNext(acc, kb.ir().fadd(acc, kb.ir().fmul(pix, cf)));
+    kb.endLoop();
+    Value* outCol = kb.ir().add(kb.ir().mul(blk, kb.ir().i64(8)), u);
+    kb.storeAt(freq, kb.idx2(row, outCol, n), kb.reductionResult(acc));
+    kb.endLoop();
+    kb.endLoop();
+    kb.endLoop();
+  }
+  // Quantize with branch statistics.
+  {
+    Value* i = kb.beginLoop(0, elems, "quant");
+    Value* q = kb.loadAt(quant, kb.ir().and_(i, kb.ir().i64(63)));
+    Value* v = kb.ir().fdiv(kb.loadAt(freq, i), q);
+    Value* rounded =
+        kb.ir().sitofp(kb.ir().fptosi(v, Type::i64()), Type::f64());
+    kb.storeAt(freq, i, rounded);
+    Value* zero = kb.ir().fcmp(CmpPred::EQ, rounded, kb.ir().f64(0.0));
+    kb.beginIf(zero, /*withElse=*/false, "z");
+    kb.storeAt(stats, kb.ir().i64(0),
+               kb.ir().add(kb.loadAt(stats, kb.ir().i64(0)), kb.ir().i64(1)));
+    kb.endIf();
+    kb.endLoop();
+  }
+  kb.endFunction();
+  return m;
+}
+
+/// zip-test: LZ77-style window matching: for each cursor, scan a fixed
+/// window for the longest prefix match (integer-heavy, branchy).
+std::unique_ptr<Module> buildZipTest() {
+  constexpr int64_t len = 160, window = 24, maxMatch = 8;
+  auto m = std::make_unique<Module>("zip-test");
+  auto* data = m->addGlobal("data", Type::i64(), len);
+  auto* bestLen = m->addGlobal("bestLen", Type::i64(), len);
+  auto* bestOff = m->addGlobal("bestOff", Type::i64(), len);
+  std::vector<double> init(len);
+  for (int64_t k = 0; k < len; ++k) {
+    init[static_cast<size_t>(k)] = static_cast<double>((k * 5 + k / 7) % 8);
+  }
+  data->setInit(init);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* pos = kb.beginLoop(window, len - maxMatch, "pos");
+  kb.storeAt(bestLen, pos, kb.ir().i64(0));
+  kb.storeAt(bestOff, pos, kb.ir().i64(0));
+  Value* off = kb.beginLoop(1, window, "off");
+  // Count matching symbols at this offset (fixed-length compare loop).
+  Value* k = kb.beginLoop(0, maxMatch, "cmp");
+  Instruction* run = kb.reduction(Type::i64(), kb.ir().i64(0), "run");
+  Value* cur = kb.loadAt(data, kb.ir().add(pos, k));
+  Value* past = kb.loadAt(data, kb.ir().sub(kb.ir().add(pos, k), off));
+  Value* same = kb.ir().icmp(CmpPred::EQ, cur, past);
+  // Run-length only grows while every previous symbol matched: emulate with
+  // saturating "and" against position (run == k means unbroken so far).
+  Value* unbroken = kb.ir().icmp(CmpPred::EQ, run, k);
+  Value* grow = kb.ir().and_(kb.ir().zext(same, Type::i64()),
+                             kb.ir().zext(unbroken, Type::i64()));
+  kb.setReductionNext(run, kb.ir().add(run, grow));
+  kb.endLoop();
+  Value* length = kb.reductionResult(run);
+  Value* better = kb.ir().icmp(CmpPred::GT, length, kb.loadAt(bestLen, pos));
+  kb.beginIf(better, /*withElse=*/false, "upd");
+  kb.storeAt(bestLen, pos, length);
+  kb.storeAt(bestOff, pos, off);
+  kb.endIf();
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+/// parser-125k: branchy token scanner over a character stream, updating
+/// class counters and a rolling hash (pure integer control-flow).
+std::unique_ptr<Module> buildParser() {
+  constexpr int64_t len = 4096;
+  auto m = std::make_unique<Module>("parser-125k");
+  auto* text = m->addGlobal("text", Type::i64(), len);
+  auto* counts = m->addGlobal("counts", Type::i64(), 8);
+  counts->setInit(std::vector<double>(8, 0.0));
+  auto* hashes = m->addGlobal("hashes", Type::i64(), len);
+  std::vector<double> init(len);
+  for (int64_t k = 0; k < len; ++k) {
+    init[static_cast<size_t>(k)] = static_cast<double>((k * 31 + 17) % 96);
+  }
+  text->setInit(init);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* i = kb.beginLoop(0, len, "scan");
+  Instruction* hash = kb.reduction(Type::i64(), kb.ir().i64(5381), "hash");
+  Value* c = kb.loadAt(text, i);
+  Value* nextHash = kb.ir().add(
+      kb.ir().mul(hash, kb.ir().i64(33)), c);
+  kb.setReductionNext(hash, nextHash);
+  kb.storeAt(hashes, i, nextHash);
+  Value* isSpace = kb.ir().icmp(CmpPred::LT, c, kb.ir().i64(16));
+  kb.beginIf(isSpace, /*withElse=*/true, "sp");
+  kb.storeAt(counts, kb.ir().i64(0),
+             kb.ir().add(kb.loadAt(counts, kb.ir().i64(0)), kb.ir().i64(1)));
+  kb.beginElse();
+  Value* isDigit = kb.ir().icmp(CmpPred::LT, c, kb.ir().i64(32));
+  kb.beginIf(isDigit, /*withElse=*/true, "dg");
+  kb.storeAt(counts, kb.ir().i64(1),
+             kb.ir().add(kb.loadAt(counts, kb.ir().i64(1)), kb.ir().i64(1)));
+  kb.beginElse();
+  Value* isUpper = kb.ir().icmp(CmpPred::LT, c, kb.ir().i64(64));
+  Value* slot = kb.ir().select(isUpper, kb.ir().i64(2), kb.ir().i64(3));
+  kb.storeAt(counts, slot,
+             kb.ir().add(kb.loadAt(counts, slot), kb.ir().i64(1)));
+  kb.endIf();
+  kb.endIf();
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+/// nnet-test: two-layer MLP forward pass plus a rank-1 weight update.
+std::unique_ptr<Module> buildNnet() {
+  constexpr int64_t in = 32, hid = 24, out = 8;
+  auto m = std::make_unique<Module>("nnet-test");
+  auto* x = m->addGlobal("x", Type::f64(), in);
+  auto* w1 = m->addGlobal("w1", Type::f64(), hid * in);
+  auto* h = m->addGlobal("h", Type::f64(), hid);
+  auto* w2 = m->addGlobal("w2", Type::f64(), out * hid);
+  auto* y = m->addGlobal("y", Type::f64(), out);
+  auto* grad = m->addGlobal("grad", Type::f64(), out);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  kb.beginLoop(0, 6, "epoch");
+  // Hidden layer: h = relu(W1 x).
+  {
+    Value* i = kb.beginLoop(0, hid, "l1");
+    Value* j = kb.beginLoop(0, in, "l1.dot");
+    Instruction* acc = kb.reduction(Type::f64(), kb.ir().f64(0.0), "acc");
+    Value* prod = kb.ir().fmul(kb.loadAt(w1, kb.idx2(i, j, in)),
+                               kb.loadAt(x, j));
+    kb.setReductionNext(acc, kb.ir().fadd(acc, prod));
+    kb.endLoop();
+    kb.storeAt(h, i,
+               kb.ir().fmax(kb.reductionResult(acc), kb.ir().f64(0.0)));
+    kb.endLoop();
+  }
+  // Output layer.
+  {
+    Value* i = kb.beginLoop(0, out, "l2");
+    Value* j = kb.beginLoop(0, hid, "l2.dot");
+    Instruction* acc = kb.reduction(Type::f64(), kb.ir().f64(0.0), "acc");
+    Value* prod = kb.ir().fmul(kb.loadAt(w2, kb.idx2(i, j, hid)),
+                               kb.loadAt(h, j));
+    kb.setReductionNext(acc, kb.ir().fadd(acc, prod));
+    kb.endLoop();
+    Value* o = kb.reductionResult(acc);
+    kb.storeAt(y, i, o);
+    kb.storeAt(grad, i, kb.ir().fsub(kb.ir().f64(0.5), o));
+    kb.endLoop();
+  }
+  // Rank-1 update: W2 += lr * grad h^T.
+  {
+    Value* i = kb.beginLoop(0, out, "upd");
+    Value* j = kb.beginLoop(0, hid, "upd.j");
+    Value* delta = kb.ir().fmul(
+        kb.ir().fmul(kb.loadAt(grad, i), kb.loadAt(h, j)),
+        kb.ir().f64(0.01));
+    Value* w = kb.loadAt(w2, kb.idx2(i, j, hid));
+    kb.storeAt(w2, kb.idx2(i, j, hid), kb.ir().fadd(w, delta));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+/// linear-alg-mid: dense solve via Gaussian elimination + back-substitution.
+std::unique_ptr<Module> buildLinearAlg() {
+  constexpr int64_t n = 28;
+  auto m = std::make_unique<Module>("linear-alg-mid");
+  auto* A = m->addGlobal("A", Type::f64(), n * n);
+  auto* bvec = m->addGlobal("b", Type::f64(), n);
+  auto* x = m->addGlobal("x", Type::f64(), n);
+  std::vector<double> init(static_cast<size_t>(n * n), 0.2);
+  for (int64_t i = 0; i < n; ++i) {
+    init[static_cast<size_t>(i * n + i)] = static_cast<double>(n);
+  }
+  A->setInit(init);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  // Forward elimination.
+  {
+    Value* k = kb.beginLoop(0, n - 1, "elim");
+    Value* iStart = kb.ir().add(k, kb.ir().i64(1));
+    Value* i = kb.beginLoop(iStart, kb.ir().i64(n), "elim.i");
+    Value* factor = kb.ir().fdiv(kb.loadAt(A, kb.idx2(i, k, n)),
+                                 kb.loadAt(A, kb.idx2(k, k, n)), "factor");
+    Value* j = kb.beginLoop(k, kb.ir().i64(n), "elim.j");
+    Value* av = kb.loadAt(A, kb.idx2(i, j, n));
+    Value* sub = kb.ir().fmul(factor, kb.loadAt(A, kb.idx2(k, j, n)));
+    kb.storeAt(A, kb.idx2(i, j, n), kb.ir().fsub(av, sub));
+    kb.endLoop();
+    Value* bv = kb.loadAt(bvec, i);
+    kb.storeAt(bvec, i,
+               kb.ir().fsub(bv, kb.ir().fmul(factor, kb.loadAt(bvec, k))));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  // Back substitution (reverse walk via index arithmetic).
+  {
+    Value* r = kb.beginLoop(0, n, "back");
+    Value* i = kb.ir().sub(kb.ir().i64(n - 1), r, "row");
+    Value* jStart = kb.ir().add(i, kb.ir().i64(1));
+    Value* j = kb.beginLoop(jStart, kb.ir().i64(n), "back.j");
+    Value* bv = kb.loadAt(bvec, i);
+    Value* sub = kb.ir().fmul(kb.loadAt(A, kb.idx2(i, j, n)), kb.loadAt(x, j));
+    kb.storeAt(bvec, i, kb.ir().fsub(bv, sub));
+    kb.endLoop();
+    kb.storeAt(x, i, kb.ir().fdiv(kb.loadAt(bvec, i),
+                                  kb.loadAt(A, kb.idx2(i, i, n))));
+    kb.endLoop();
+  }
+  kb.endFunction();
+  return m;
+}
+
+/// loops-all-mid-10k-sp: many distinct small loops, most carrying a
+/// floating-point recurrence (the paper notes these bound the pipeline II
+/// and mute the benefit of decoupled/scratchpad interfaces).
+std::unique_ptr<Module> buildLoopsAll() {
+  constexpr int64_t n = 96, kLoops = 12;
+  auto m = std::make_unique<Module>("loops-all-mid-10k-sp");
+  std::vector<GlobalArray*> arrays;
+  for (int64_t k = 0; k < kLoops; ++k) {
+    arrays.push_back(
+        m->addGlobal("a" + std::to_string(k), Type::f64(), n));
+  }
+  auto* out = m->addGlobal("out", Type::f64(), kLoops);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  for (int64_t k = 0; k < kLoops; ++k) {
+    std::string tag = "l" + std::to_string(k);
+    Value* i = kb.beginLoop(0, n, tag);
+    if (k % 3 == 0) {
+      // First-order IIR recurrence through memory: a[i] += c * a[i-1].
+      ir::IRBuilder& b = kb.ir();
+      Value* prevIdx = b.select(
+          b.icmp(CmpPred::GT, i, b.i64(0)), b.sub(i, b.i64(1)), b.i64(0));
+      Value* prev = kb.loadAt(arrays[static_cast<size_t>(k)], prevIdx);
+      Value* cur = kb.loadAt(arrays[static_cast<size_t>(k)], i);
+      kb.storeAt(arrays[static_cast<size_t>(k)], i,
+                 b.fadd(cur, b.fmul(prev, b.f64(0.5))));
+    } else if (k % 3 == 1) {
+      // Scalar product-style recurrence.
+      Instruction* acc = kb.reduction(Type::f64(), kb.ir().f64(1.0), "acc");
+      Value* v = kb.loadAt(arrays[static_cast<size_t>(k)], i);
+      kb.setReductionNext(
+          acc, kb.ir().fadd(kb.ir().fmul(acc, kb.ir().f64(0.999)),
+                            kb.ir().fmul(v, kb.ir().f64(0.001))));
+      kb.endLoop();
+      kb.storeAt(out, kb.ir().i64(k), kb.reductionResult(acc));
+      continue;
+    } else {
+      // Elementwise with an FP-heavy body.
+      Value* v = kb.loadAt(arrays[static_cast<size_t>(k)], i);
+      Value* t = kb.ir().fadd(kb.ir().fmul(v, v), kb.ir().f64(0.125));
+      kb.storeAt(arrays[static_cast<size_t>(k)], i, kb.ir().fsqrt(t));
+    }
+    kb.endLoop();
+  }
+  kb.endFunction();
+  return m;
+}
+
+}  // namespace
+
+std::vector<WorkloadInfo> coremarkWorkloads() {
+  return {
+      {"cjpeg-rose7-preset", "CoreMark-Pro",
+       "synthetic JPEG compression preset: colour transform, subsampling, "
+       "1-D block DCT, quantization",
+       buildCjpegRose},
+      {"zip-test", "CoreMark-Pro",
+       "LZ77-style window matching with fixed-length compare loops "
+       "(early-exit replaced by saturating run counters)",
+       buildZipTest},
+      {"parser-125k", "CoreMark-Pro",
+       "branchy token scanner with rolling hash over a synthetic stream",
+       buildParser},
+      {"nnet-test", "CoreMark-Pro",
+       "two-layer MLP forward pass + rank-1 update over several epochs",
+       buildNnet},
+      {"linear-alg-mid", "CoreMark-Pro",
+       "Gaussian elimination + back-substitution dense solve", buildLinearAlg},
+      {"loops-all-mid-10k-sp", "CoreMark-Pro",
+       "12 distinct small loops, most with FP loop-carried recurrences",
+       buildLoopsAll},
+  };
+}
+
+}  // namespace cayman::workloads

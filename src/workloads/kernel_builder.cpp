@@ -1,0 +1,162 @@
+#include "workloads/kernel_builder.h"
+
+namespace cayman::workloads {
+
+using namespace cayman::ir;
+
+Function* KernelBuilder::beginFunction(
+    std::string name, const Type* returnType,
+    std::vector<std::pair<const Type*, std::string>> params) {
+  CAYMAN_ASSERT(function_ == nullptr, "previous function still open");
+  function_ = b_.module()->addFunction(std::move(name), returnType,
+                                       std::move(params));
+  BasicBlock* entry = function_->addBlock("entry");
+  b_.setInsertPoint(entry);
+  return function_;
+}
+
+void KernelBuilder::endFunction(Value* returnValue) {
+  CAYMAN_ASSERT(function_ != nullptr, "no open function");
+  CAYMAN_ASSERT(loops_.empty() && ifs_.empty(),
+                "unclosed loop or if in " + function_->name());
+  b_.ret(returnValue);
+  function_ = nullptr;
+}
+
+Value* KernelBuilder::beginLoop(Value* lo, Value* hi, std::string name,
+                                int64_t step) {
+  CAYMAN_ASSERT(function_ != nullptr, "no open function");
+  LoopFrame frame;
+  frame.preheader = b_.insertBlock();
+  frame.header = function_->addBlock(name + ".header");
+  BasicBlock* body = function_->addBlock(name + ".body");
+  frame.latch = function_->addBlock(name + ".latch");
+  frame.exit = function_->addBlock(name + ".exit");
+  frame.step = b_.i64(step);
+
+  b_.br(frame.header);
+
+  b_.setInsertPoint(frame.header);
+  frame.iv = b_.phi(Type::i64(), name);
+  frame.iv->addIncoming(lo, frame.preheader);
+  Value* cond = b_.icmp(CmpPred::LT, frame.iv, hi, name + ".cond");
+  b_.condBr(cond, body, frame.exit);
+
+  b_.setInsertPoint(body);
+  loops_.push_back(frame);
+  return frame.iv;
+}
+
+void KernelBuilder::endLoop() {
+  CAYMAN_ASSERT(!loops_.empty(), "no open loop");
+  LoopFrame frame = loops_.back();
+  loops_.pop_back();
+
+  // Close the body into the latch, bump the IV, and branch back.
+  b_.br(frame.latch);
+  b_.setInsertPoint(frame.latch);
+  Value* next =
+      b_.add(frame.iv, frame.step, frame.iv->name() + ".next");
+  b_.br(frame.header);
+  frame.iv->addIncoming(next, frame.latch);
+
+  for (auto& [phi, nextValue] : frame.reductions) {
+    CAYMAN_ASSERT(nextValue != nullptr,
+                  "reduction " + phi->name() + " never given a next value");
+    phi->addIncoming(nextValue, frame.latch);
+  }
+
+  b_.setInsertPoint(frame.exit);
+}
+
+void KernelBuilder::beginIf(Value* cond, bool withElse, std::string name) {
+  CAYMAN_ASSERT(function_ != nullptr, "no open function");
+  IfFrame frame;
+  frame.thenBlock = function_->addBlock(name + ".then");
+  frame.elseBlock = withElse ? function_->addBlock(name + ".else") : nullptr;
+  frame.join = function_->addBlock(name + ".join");
+  b_.condBr(cond, frame.thenBlock,
+            withElse ? frame.elseBlock : frame.join);
+  b_.setInsertPoint(frame.thenBlock);
+  ifs_.push_back(frame);
+}
+
+void KernelBuilder::beginElse() {
+  CAYMAN_ASSERT(!ifs_.empty(), "no open if");
+  IfFrame& frame = ifs_.back();
+  CAYMAN_ASSERT(frame.elseBlock != nullptr, "if was opened without an else");
+  CAYMAN_ASSERT(!frame.inElse, "beginElse called twice");
+  b_.br(frame.join);
+  b_.setInsertPoint(frame.elseBlock);
+  frame.inElse = true;
+}
+
+void KernelBuilder::endIf() {
+  CAYMAN_ASSERT(!ifs_.empty(), "no open if");
+  IfFrame frame = ifs_.back();
+  ifs_.pop_back();
+  CAYMAN_ASSERT(frame.elseBlock == nullptr || frame.inElse,
+                "if with else-arm closed before beginElse");
+  b_.br(frame.join);
+  b_.setInsertPoint(frame.join);
+}
+
+Instruction* KernelBuilder::reduction(const Type* type, Value* init,
+                                      std::string name) {
+  CAYMAN_ASSERT(!loops_.empty(), "reduction outside a loop");
+  LoopFrame& frame = loops_.back();
+  auto phi = std::make_unique<Instruction>(Opcode::Phi, type,
+                                           std::vector<Value*>{}, name);
+  Instruction* raw = frame.header->insertPhi(std::move(phi));
+  raw->addIncoming(init, frame.preheader);
+  frame.reductions.emplace_back(raw, nullptr);
+  return raw;
+}
+
+void KernelBuilder::setReductionNext(Instruction* phi, Value* next) {
+  for (auto& frame : loops_) {
+    for (auto& [p, n] : frame.reductions) {
+      if (p == phi) {
+        n = next;
+        return;
+      }
+    }
+  }
+  CAYMAN_ASSERT(false, "setReductionNext: unknown reduction phi");
+}
+
+Value* KernelBuilder::reductionResult(Instruction* phi) const {
+  // The header phi holds the final value on loop exit (the header dominates
+  // the exit block).
+  return phi;
+}
+
+Value* KernelBuilder::loadAt(GlobalArray* array, Value* index,
+                             std::string name) {
+  Value* ptr = b_.gep(array, index, array->elemType(),
+                      array->name() + ".ptr");
+  return b_.load(array->elemType(), ptr,
+                 name.empty() ? array->name() + ".val" : std::move(name));
+}
+
+void KernelBuilder::storeAt(GlobalArray* array, Value* index, Value* value) {
+  Value* ptr = b_.gep(array, index, array->elemType(),
+                      array->name() + ".ptr");
+  b_.store(value, ptr);
+}
+
+Value* KernelBuilder::idx2(Value* i, Value* j, int64_t cols,
+                           std::string name) {
+  Value* scaled = b_.mul(i, b_.i64(cols));
+  return b_.add(scaled, j, std::move(name));
+}
+
+Value* KernelBuilder::idx3(Value* i, Value* j, Value* k, int64_t d1,
+                           int64_t d2, std::string name) {
+  Value* a = b_.mul(i, b_.i64(d1));
+  Value* b = b_.add(a, j);
+  Value* c = b_.mul(b, b_.i64(d2));
+  return b_.add(c, k, std::move(name));
+}
+
+}  // namespace cayman::workloads

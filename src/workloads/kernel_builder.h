@@ -1,0 +1,91 @@
+// KernelBuilder: structured-control-flow authoring layer over IRBuilder.
+//
+// Emits canonical loops (preheader / header+phi / body / latch / exit) and
+// if/else diamonds, which is exactly the structured shape the region analysis
+// recognizes as SESE ctrl-flow regions.
+#pragma once
+
+#include <functional>
+
+#include "ir/builder.h"
+
+namespace cayman::workloads {
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(ir::Module* module) : b_(module) {}
+
+  ir::Module* module() const { return b_.module(); }
+  ir::IRBuilder& ir() { return b_; }
+
+  /// Starts a function; the builder is positioned in its entry block.
+  ir::Function* beginFunction(
+      std::string name, const ir::Type* returnType = ir::Type::voidTy(),
+      std::vector<std::pair<const ir::Type*, std::string>> params = {});
+  /// Emits `ret` and finishes the function.
+  void endFunction(ir::Value* returnValue = nullptr);
+
+  /// Opens a counted loop `for (iv = lo; iv < hi; iv += step)` and returns
+  /// the induction variable; the builder is positioned in the body.
+  ir::Value* beginLoop(ir::Value* lo, ir::Value* hi, std::string name,
+                       int64_t step = 1);
+  ir::Value* beginLoop(int64_t lo, int64_t hi, std::string name,
+                       int64_t step = 1) {
+    return beginLoop(b_.i64(lo), b_.i64(hi), std::move(name), step);
+  }
+  /// Closes the innermost open loop; the builder moves to its exit block.
+  void endLoop();
+
+  /// Opens an if (and optional else); builder is positioned in the then-arm.
+  void beginIf(ir::Value* cond, bool withElse = false, std::string name = "if");
+  /// Switches from the then-arm to the else-arm (requires withElse=true).
+  void beginElse();
+  /// Closes the innermost if; the builder moves to the join block.
+  void endIf();
+
+  /// Declares a reduction variable carried by the innermost open loop:
+  /// returns the phi seeded with `init`; call setReductionNext before the
+  /// loop closes to provide the next-iteration value.
+  ir::Instruction* reduction(const ir::Type* type, ir::Value* init,
+                             std::string name);
+  void setReductionNext(ir::Instruction* phi, ir::Value* next);
+  /// Value of the reduction after the loop closed (usable in the exit block).
+  ir::Value* reductionResult(ir::Instruction* phi) const;
+
+  // --- Array access sugar ----------------------------------------------------
+  ir::Value* loadAt(ir::GlobalArray* array, ir::Value* index,
+                    std::string name = "");
+  void storeAt(ir::GlobalArray* array, ir::Value* index, ir::Value* value);
+  /// Row-major 2-D index helper: i * cols + j.
+  ir::Value* idx2(ir::Value* i, ir::Value* j, int64_t cols,
+                  std::string name = "");
+  /// Row-major 3-D index helper: (i * d1 + j) * d2 + k.
+  ir::Value* idx3(ir::Value* i, ir::Value* j, ir::Value* k, int64_t d1,
+                  int64_t d2, std::string name = "");
+
+ private:
+  struct LoopFrame {
+    ir::BasicBlock* preheader;
+    ir::BasicBlock* header;
+    ir::BasicBlock* latch;
+    ir::BasicBlock* exit;
+    ir::Instruction* iv;
+    ir::Value* step;
+    std::vector<std::pair<ir::Instruction*, ir::Value*>> reductions;
+  };
+  struct IfFrame {
+    ir::BasicBlock* thenBlock;
+    ir::BasicBlock* elseBlock;  ///< nullptr without an else arm
+    ir::BasicBlock* join;
+    bool inElse = false;
+  };
+
+  ir::IRBuilder b_;
+  ir::Function* function_ = nullptr;
+  std::vector<LoopFrame> loops_;
+  std::vector<IfFrame> ifs_;
+  std::map<const ir::Instruction*, ir::Value*> reductionResults_;
+  int nameCounter_ = 0;
+};
+
+}  // namespace cayman::workloads

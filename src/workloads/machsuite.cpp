@@ -1,0 +1,197 @@
+// MachSuite kernels (faithful ports at reduced problem sizes).
+#include "workloads/kernel_builder.h"
+#include "workloads/workloads.h"
+
+namespace cayman::workloads {
+
+namespace {
+
+using ir::CmpPred;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+/// fft: iterative radix-2 butterflies (MachSuite fft/strided), size 64.
+std::unique_ptr<Module> buildFft() {
+  constexpr int64_t n = 64;
+  auto m = std::make_unique<Module>("fft");
+  auto* real = m->addGlobal("real", Type::f64(), n);
+  auto* imag = m->addGlobal("imag", Type::f64(), n);
+  auto* realTw = m->addGlobal("real_twid", Type::f64(), n / 2);
+  auto* imagTw = m->addGlobal("imag_twid", Type::f64(), n / 2);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  // for (span = n/2; span; span >>= 1) — modelled as log2(n) stages with
+  // span = n >> (stage+1).
+  Value* stage = kb.beginLoop(0, 6, "stage");
+  Value* span = kb.ir().ashr(kb.ir().i64(n), kb.ir().add(stage,
+                                                         kb.ir().i64(1)));
+  Value* odd = kb.beginLoop(0, n / 2, "odd");
+  // odd | span gives the odd index; even = odd ^ span.
+  Value* oddIdx = kb.ir().or_(odd, span, "odd.idx");
+  Value* evenIdx = kb.ir().xor_(oddIdx, span, "even.idx");
+  Value* er = kb.loadAt(real, evenIdx);
+  Value* orr = kb.loadAt(real, oddIdx);
+  Value* ei = kb.loadAt(imag, evenIdx);
+  Value* oi = kb.loadAt(imag, oddIdx);
+  kb.storeAt(real, evenIdx, kb.ir().fadd(er, orr));
+  kb.storeAt(imag, evenIdx, kb.ir().fadd(ei, oi));
+  Value* diffR = kb.ir().fsub(er, orr);
+  Value* diffI = kb.ir().fsub(ei, oi);
+  // twiddle index: (even mod span) — use masked odd for a stream-ish walk.
+  Value* twIdx = kb.ir().and_(evenIdx, kb.ir().i64(n / 2 - 1), "tw.idx");
+  Value* tr = kb.loadAt(realTw, twIdx);
+  Value* ti = kb.loadAt(imagTw, twIdx);
+  kb.storeAt(real, oddIdx,
+             kb.ir().fsub(kb.ir().fmul(diffR, tr), kb.ir().fmul(diffI, ti)));
+  kb.storeAt(imag, oddIdx,
+             kb.ir().fadd(kb.ir().fmul(diffR, ti), kb.ir().fmul(diffI, tr)));
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+/// md/knn: Lennard-Jones forces over a fixed-degree neighbour list.
+std::unique_ptr<Module> buildMd() {
+  constexpr int64_t atoms = 64, neighbours = 16;
+  auto m = std::make_unique<Module>("md");
+  auto* px = m->addGlobal("px", Type::f64(), atoms);
+  auto* py = m->addGlobal("py", Type::f64(), atoms);
+  auto* pz = m->addGlobal("pz", Type::f64(), atoms);
+  auto* fx = m->addGlobal("fx", Type::f64(), atoms);
+  auto* fy = m->addGlobal("fy", Type::f64(), atoms);
+  auto* fz = m->addGlobal("fz", Type::f64(), atoms);
+  auto* nl = m->addGlobal("NL", Type::i64(), atoms * neighbours);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* i = kb.beginLoop(0, atoms, "atom");
+  Value* xi = kb.loadAt(px, i);
+  Value* yi = kb.loadAt(py, i);
+  Value* zi = kb.loadAt(pz, i);
+  Value* j = kb.beginLoop(0, neighbours, "nbr");
+  ir::Instruction* accX = kb.reduction(Type::f64(), kb.ir().f64(0.0), "ax");
+  ir::Instruction* accY = kb.reduction(Type::f64(), kb.ir().f64(0.0), "ay");
+  ir::Instruction* accZ = kb.reduction(Type::f64(), kb.ir().f64(0.0), "az");
+  Value* nidx = kb.loadAt(nl, kb.idx2(i, j, neighbours), "n.idx");
+  Value* dx = kb.ir().fsub(xi, kb.loadAt(px, nidx));
+  Value* dy = kb.ir().fsub(yi, kb.loadAt(py, nidx));
+  Value* dz = kb.ir().fsub(zi, kb.loadAt(pz, nidx));
+  Value* r2 = kb.ir().fadd(kb.ir().fadd(kb.ir().fmul(dx, dx),
+                                        kb.ir().fmul(dy, dy)),
+                           kb.ir().fadd(kb.ir().fmul(dz, dz),
+                                        kb.ir().f64(0.01)));
+  Value* r2inv = kb.ir().fdiv(kb.ir().f64(1.0), r2);
+  Value* r6inv = kb.ir().fmul(kb.ir().fmul(r2inv, r2inv), r2inv);
+  Value* pot = kb.ir().fmul(
+      kb.ir().fmul(r6inv, kb.ir().fsub(kb.ir().fmul(kb.ir().f64(1.5), r6inv),
+                                       kb.ir().f64(2.0))),
+      r2inv);
+  kb.setReductionNext(accX, kb.ir().fadd(accX, kb.ir().fmul(pot, dx)));
+  kb.setReductionNext(accY, kb.ir().fadd(accY, kb.ir().fmul(pot, dy)));
+  kb.setReductionNext(accZ, kb.ir().fadd(accZ, kb.ir().fmul(pot, dz)));
+  kb.endLoop();
+  kb.storeAt(fx, i, kb.reductionResult(accX));
+  kb.storeAt(fy, i, kb.reductionResult(accY));
+  kb.storeAt(fz, i, kb.reductionResult(accZ));
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+/// spmv: ELLPACK sparse matrix-vector product (indirect column indices).
+std::unique_ptr<Module> buildSpmv() {
+  constexpr int64_t rows = 94, perRow = 10;
+  auto m = std::make_unique<Module>("spmv");
+  auto* val = m->addGlobal("val", Type::f64(), rows * perRow);
+  auto* cols = m->addGlobal("cols", Type::i64(), rows * perRow);
+  auto* vec = m->addGlobal("vec", Type::f64(), rows);
+  auto* out = m->addGlobal("out", Type::f64(), rows);
+  // Column indices within range.
+  std::vector<double> colInit(static_cast<size_t>(rows * perRow));
+  for (size_t k = 0; k < colInit.size(); ++k) {
+    colInit[k] = static_cast<double>((k * 7 + 3) % rows);
+  }
+  cols->setInit(colInit);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* i = kb.beginLoop(0, rows, "row");
+  ir::Instruction* acc = nullptr;
+  Value* j = kb.beginLoop(0, perRow, "nz");
+  acc = kb.reduction(Type::f64(), kb.ir().f64(0.0), "sum");
+  Value* idx = kb.idx2(i, j, perRow);
+  Value* v = kb.loadAt(val, idx);
+  Value* col = kb.loadAt(cols, idx, "col");
+  Value* x = kb.loadAt(vec, col);
+  kb.setReductionNext(acc, kb.ir().fadd(acc, kb.ir().fmul(v, x)));
+  kb.endLoop();
+  kb.storeAt(out, i, kb.reductionResult(acc));
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+/// nw: Needleman-Wunsch alignment score matrix (branch-free max via select).
+std::unique_ptr<Module> buildNw() {
+  constexpr int64_t len = 48;
+  auto m = std::make_unique<Module>("nw");
+  auto* seqA = m->addGlobal("seqA", Type::i64(), len);
+  auto* seqB = m->addGlobal("seqB", Type::i64(), len);
+  auto* score = m->addGlobal("score", Type::i64(), (len + 1) * (len + 1));
+  std::vector<double> a(len), b(len);
+  for (int64_t k = 0; k < len; ++k) {
+    a[static_cast<size_t>(k)] = static_cast<double>(k % 4);
+    b[static_cast<size_t>(k)] = static_cast<double>((k * 3 + 1) % 4);
+  }
+  seqA->setInit(a);
+  seqB->setInit(b);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  constexpr int64_t w = len + 1;
+  // Border initialization.
+  {
+    Value* i = kb.beginLoop(0, w, "border");
+    Value* gap = kb.ir().mul(i, kb.ir().i64(-1));
+    kb.storeAt(score, kb.idx2(i, kb.ir().i64(0), w), gap);
+    kb.storeAt(score, kb.idx2(kb.ir().i64(0), i, w), gap);
+    kb.endLoop();
+  }
+  Value* i = kb.beginLoop(1, w, "i");
+  Value* j = kb.beginLoop(1, w, "j");
+  Value* ai = kb.loadAt(seqA, kb.ir().sub(i, kb.ir().i64(1)));
+  Value* bj = kb.loadAt(seqB, kb.ir().sub(j, kb.ir().i64(1)));
+  Value* match = kb.ir().icmp(CmpPred::EQ, ai, bj);
+  Value* matchScore = kb.ir().select(match, kb.ir().i64(1), kb.ir().i64(-1));
+  Value* im1 = kb.ir().sub(i, kb.ir().i64(1));
+  Value* jm1 = kb.ir().sub(j, kb.ir().i64(1));
+  Value* diag = kb.ir().add(kb.loadAt(score, kb.idx2(im1, jm1, w)),
+                            matchScore);
+  Value* up = kb.ir().add(kb.loadAt(score, kb.idx2(im1, j, w)),
+                          kb.ir().i64(-1));
+  Value* left = kb.ir().add(kb.loadAt(score, kb.idx2(i, jm1, w)),
+                            kb.ir().i64(-1));
+  Value* best1 = kb.ir().select(kb.ir().icmp(CmpPred::GT, diag, up), diag, up);
+  Value* best = kb.ir().select(kb.ir().icmp(CmpPred::GT, best1, left), best1,
+                               left);
+  kb.storeAt(score, kb.idx2(i, j, w), best);
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+}  // namespace
+
+std::vector<WorkloadInfo> machsuiteWorkloads() {
+  return {
+      {"fft", "MachSuite", "", buildFft},
+      {"md", "MachSuite", "", buildMd},
+      {"spmv", "MachSuite", "ELLPACK layout instead of CRS (same indirect "
+                            "access behaviour, fixed row loop bounds)",
+       buildSpmv},
+      {"nw", "MachSuite", "score matrix fill only (traceback omitted)",
+       buildNw},
+  };
+}
+
+}  // namespace cayman::workloads

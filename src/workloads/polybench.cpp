@@ -1,0 +1,614 @@
+// PolyBench kernels (faithful ports at reduced problem sizes).
+#include "workloads/workloads.h"
+
+#include "workloads/kernel_builder.h"
+
+namespace cayman::workloads {
+
+namespace {
+
+using ir::CmpPred;
+using ir::GlobalArray;
+using ir::Instruction;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+constexpr int64_t kN = 24;  // base problem dimension
+
+/// C[i][j] += A[i][k] * B[k][j]  (n x m x p).
+void emitMatmul(KernelBuilder& kb, GlobalArray* c, GlobalArray* a,
+                GlobalArray* b, int64_t n, int64_t m, int64_t p,
+                const std::string& tag) {
+  Value* i = kb.beginLoop(0, n, tag + ".i");
+  Value* j = kb.beginLoop(0, p, tag + ".j");
+  kb.storeAt(c, kb.idx2(i, j, p), kb.ir().f64(0.0));
+  Value* k = kb.beginLoop(0, m, tag + ".k");
+  Value* av = kb.loadAt(a, kb.idx2(i, k, m));
+  Value* bv = kb.loadAt(b, kb.idx2(k, j, p));
+  Value* cv = kb.loadAt(c, kb.idx2(i, j, p));
+  kb.storeAt(c, kb.idx2(i, j, p), kb.ir().fadd(cv, kb.ir().fmul(av, bv)));
+  kb.endLoop();
+  kb.endLoop();
+  kb.endLoop();
+}
+
+std::unique_ptr<Module> build3mm() {
+  auto m = std::make_unique<Module>("3mm");
+  auto* A = m->addGlobal("A", Type::f64(), kN * kN);
+  auto* B = m->addGlobal("B", Type::f64(), kN * kN);
+  auto* C = m->addGlobal("C", Type::f64(), kN * kN);
+  auto* D = m->addGlobal("D", Type::f64(), kN * kN);
+  auto* E = m->addGlobal("E", Type::f64(), kN * kN);
+  auto* F = m->addGlobal("F", Type::f64(), kN * kN);
+  auto* G = m->addGlobal("G", Type::f64(), kN * kN);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  emitMatmul(kb, E, A, B, kN, kN, kN, "mm1");
+  emitMatmul(kb, F, C, D, kN, kN, kN, "mm2");
+  emitMatmul(kb, G, E, F, kN, kN, kN, "mm3");
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildAtax() {
+  constexpr int64_t n = 48;
+  auto m = std::make_unique<Module>("atax");
+  auto* A = m->addGlobal("A", Type::f64(), n * n);
+  auto* x = m->addGlobal("x", Type::f64(), n);
+  auto* y = m->addGlobal("y", Type::f64(), n);
+  auto* tmp = m->addGlobal("tmp", Type::f64(), n);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  // y = 0
+  {
+    Value* i = kb.beginLoop(0, n, "init");
+    kb.storeAt(y, i, kb.ir().f64(0.0));
+    kb.endLoop();
+  }
+  // tmp[i] = A[i][:] . x ; y += tmp[i] * A[i][:]
+  Value* i = kb.beginLoop(0, n, "rows");
+  kb.storeAt(tmp, i, kb.ir().f64(0.0));
+  {
+    Value* j = kb.beginLoop(0, n, "dot");
+    Value* acc = kb.loadAt(tmp, i);
+    Value* prod = kb.ir().fmul(kb.loadAt(A, kb.idx2(i, j, n)),
+                               kb.loadAt(x, j));
+    kb.storeAt(tmp, i, kb.ir().fadd(acc, prod));
+    kb.endLoop();
+  }
+  {
+    Value* j = kb.beginLoop(0, n, "axpy");
+    Value* yv = kb.loadAt(y, j);
+    Value* prod = kb.ir().fmul(kb.loadAt(A, kb.idx2(i, j, n)),
+                               kb.loadAt(tmp, i));
+    kb.storeAt(y, j, kb.ir().fadd(yv, prod));
+    kb.endLoop();
+  }
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildBicg() {
+  constexpr int64_t n = 48;
+  auto m = std::make_unique<Module>("bicg");
+  auto* A = m->addGlobal("A", Type::f64(), n * n);
+  auto* p = m->addGlobal("p", Type::f64(), n);
+  auto* r = m->addGlobal("r", Type::f64(), n);
+  auto* q = m->addGlobal("q", Type::f64(), n);
+  auto* s = m->addGlobal("s", Type::f64(), n);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  {
+    Value* i = kb.beginLoop(0, n, "init");
+    kb.storeAt(s, i, kb.ir().f64(0.0));
+    kb.endLoop();
+  }
+  Value* i = kb.beginLoop(0, n, "rows");
+  kb.storeAt(q, i, kb.ir().f64(0.0));
+  Value* j = kb.beginLoop(0, n, "inner");
+  Value* sv = kb.loadAt(s, j);
+  Value* a = kb.loadAt(A, kb.idx2(i, j, n));
+  kb.storeAt(s, j, kb.ir().fadd(sv, kb.ir().fmul(kb.loadAt(r, i), a)));
+  Value* qv = kb.loadAt(q, i);
+  kb.storeAt(q, i, kb.ir().fadd(qv, kb.ir().fmul(a, kb.loadAt(p, j))));
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildDoitgen() {
+  constexpr int64_t nr = 10, nq = 10, np = 16;
+  auto m = std::make_unique<Module>("doitgen");
+  auto* A = m->addGlobal("A", Type::f64(), nr * nq * np);
+  auto* C4 = m->addGlobal("C4", Type::f64(), np * np);
+  auto* sum = m->addGlobal("sum", Type::f64(), np);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* r = kb.beginLoop(0, nr, "r");
+  Value* q = kb.beginLoop(0, nq, "q");
+  {
+    Value* p = kb.beginLoop(0, np, "p");
+    kb.storeAt(sum, p, kb.ir().f64(0.0));
+    Value* s = kb.beginLoop(0, np, "s");
+    Value* acc = kb.loadAt(sum, p);
+    Value* av = kb.loadAt(A, kb.idx3(r, q, s, nq, np));
+    Value* cv = kb.loadAt(C4, kb.idx2(s, p, np));
+    kb.storeAt(sum, p, kb.ir().fadd(acc, kb.ir().fmul(av, cv)));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  {
+    Value* p = kb.beginLoop(0, np, "copy");
+    kb.storeAt(A, kb.idx3(r, q, p, nq, np), kb.loadAt(sum, p));
+    kb.endLoop();
+  }
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildMvt() {
+  constexpr int64_t n = 48;
+  auto m = std::make_unique<Module>("mvt");
+  auto* A = m->addGlobal("A", Type::f64(), n * n);
+  auto* x1 = m->addGlobal("x1", Type::f64(), n);
+  auto* x2 = m->addGlobal("x2", Type::f64(), n);
+  auto* y1 = m->addGlobal("y1", Type::f64(), n);
+  auto* y2 = m->addGlobal("y2", Type::f64(), n);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  {
+    Value* i = kb.beginLoop(0, n, "fwd");
+    Value* j = kb.beginLoop(0, n, "fwd.j");
+    Value* v = kb.loadAt(x1, i);
+    Value* prod = kb.ir().fmul(kb.loadAt(A, kb.idx2(i, j, n)),
+                               kb.loadAt(y1, j));
+    kb.storeAt(x1, i, kb.ir().fadd(v, prod));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  {
+    Value* i = kb.beginLoop(0, n, "trn");
+    Value* j = kb.beginLoop(0, n, "trn.j");
+    Value* v = kb.loadAt(x2, i);
+    Value* prod = kb.ir().fmul(kb.loadAt(A, kb.idx2(j, i, n)),
+                               kb.loadAt(y2, j));
+    kb.storeAt(x2, i, kb.ir().fadd(v, prod));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildSymm() {
+  constexpr int64_t n = 28;
+  auto m = std::make_unique<Module>("symm");
+  auto* A = m->addGlobal("A", Type::f64(), n * n);
+  auto* B = m->addGlobal("B", Type::f64(), n * n);
+  auto* C = m->addGlobal("C", Type::f64(), n * n);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* i = kb.beginLoop(0, n, "i");
+  Value* j = kb.beginLoop(0, n, "j");
+  // temp = Σ_{k<i} A[i][k] * B[k][j]
+  kb.storeAt(C, kb.idx2(i, j, n),
+             kb.ir().fmul(kb.loadAt(C, kb.idx2(i, j, n)), kb.ir().f64(0.8)));
+  Value* k = kb.beginLoop(kb.ir().i64(0), i, "k");
+  Value* av = kb.loadAt(A, kb.idx2(i, k, n));
+  Value* bv = kb.loadAt(B, kb.idx2(k, j, n));
+  Value* cv = kb.loadAt(C, kb.idx2(i, j, n));
+  kb.storeAt(C, kb.idx2(i, j, n), kb.ir().fadd(cv, kb.ir().fmul(av, bv)));
+  kb.endLoop();
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildSyrk() {
+  constexpr int64_t n = 28;
+  auto m = std::make_unique<Module>("syrk");
+  auto* A = m->addGlobal("A", Type::f64(), n * n);
+  auto* C = m->addGlobal("C", Type::f64(), n * n);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* i = kb.beginLoop(0, n, "i");
+  Value* j = kb.beginLoop(0, n, "j");
+  Value* scaled = kb.ir().fmul(kb.loadAt(C, kb.idx2(i, j, n)),
+                               kb.ir().f64(0.9));
+  kb.storeAt(C, kb.idx2(i, j, n), scaled);
+  Value* k = kb.beginLoop(0, n, "k");
+  Value* prod = kb.ir().fmul(kb.loadAt(A, kb.idx2(i, k, n)),
+                             kb.loadAt(A, kb.idx2(j, k, n)));
+  Value* cv = kb.loadAt(C, kb.idx2(i, j, n));
+  kb.storeAt(C, kb.idx2(i, j, n), kb.ir().fadd(cv, prod));
+  kb.endLoop();
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildTrmm() {
+  constexpr int64_t n = 28;
+  auto m = std::make_unique<Module>("trmm");
+  auto* A = m->addGlobal("A", Type::f64(), n * n);
+  auto* B = m->addGlobal("B", Type::f64(), n * n);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* i = kb.beginLoop(0, n, "i");
+  Value* j = kb.beginLoop(0, n, "j");
+  Value* kStart = kb.ir().add(i, kb.ir().i64(1));
+  Value* k = kb.beginLoop(kStart, kb.ir().i64(n), "k");
+  Value* prod = kb.ir().fmul(kb.loadAt(A, kb.idx2(k, i, n)),
+                             kb.loadAt(B, kb.idx2(k, j, n)));
+  Value* bv = kb.loadAt(B, kb.idx2(i, j, n));
+  kb.storeAt(B, kb.idx2(i, j, n), kb.ir().fadd(bv, prod));
+  kb.endLoop();
+  kb.storeAt(B, kb.idx2(i, j, n),
+             kb.ir().fmul(kb.loadAt(B, kb.idx2(i, j, n)), kb.ir().f64(1.1)));
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildCholesky() {
+  constexpr int64_t n = 24;
+  auto m = std::make_unique<Module>("cholesky");
+  auto* A = m->addGlobal("A", Type::f64(), n * n);
+  // Seed a diagonally dominant matrix so sqrt stays real.
+  std::vector<double> init(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      init[static_cast<size_t>(i * n + j)] =
+          i == j ? static_cast<double>(n) : 0.1;
+    }
+  }
+  A->setInit(init);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* i = kb.beginLoop(0, n, "i");
+  {
+    // A[i][j] = (A[i][j] - Σ_{k<j} A[i][k]A[j][k]) / A[j][j]
+    Value* j = kb.beginLoop(kb.ir().i64(0), i, "j");
+    Value* k = kb.beginLoop(kb.ir().i64(0), j, "k");
+    Value* prod = kb.ir().fmul(kb.loadAt(A, kb.idx2(i, k, n)),
+                               kb.loadAt(A, kb.idx2(j, k, n)));
+    Value* av = kb.loadAt(A, kb.idx2(i, j, n));
+    kb.storeAt(A, kb.idx2(i, j, n), kb.ir().fsub(av, prod));
+    kb.endLoop();
+    Value* divided = kb.ir().fdiv(kb.loadAt(A, kb.idx2(i, j, n)),
+                                  kb.loadAt(A, kb.idx2(j, j, n)));
+    kb.storeAt(A, kb.idx2(i, j, n), divided);
+    kb.endLoop();
+  }
+  {
+    Value* k = kb.beginLoop(kb.ir().i64(0), i, "diag");
+    Value* sq = kb.loadAt(A, kb.idx2(i, k, n));
+    Value* av = kb.loadAt(A, kb.idx2(i, i, n));
+    kb.storeAt(A, kb.idx2(i, i, n),
+               kb.ir().fsub(av, kb.ir().fmul(sq, sq)));
+    kb.endLoop();
+  }
+  kb.storeAt(A, kb.idx2(i, i, n),
+             kb.ir().fsqrt(kb.loadAt(A, kb.idx2(i, i, n))));
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildGramschmidt() {
+  constexpr int64_t n = 20;
+  auto m = std::make_unique<Module>("gramschmidt");
+  auto* A = m->addGlobal("A", Type::f64(), n * n);
+  auto* R = m->addGlobal("R", Type::f64(), n * n);
+  auto* Q = m->addGlobal("Q", Type::f64(), n * n);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* k = kb.beginLoop(0, n, "k");
+  // nrm = sqrt(Σ A[i][k]^2)
+  Instruction* nrm = nullptr;
+  {
+    Value* i = kb.beginLoop(0, n, "nrm");
+    nrm = kb.reduction(Type::f64(), kb.ir().f64(1e-9), "nrm");
+    Value* av = kb.loadAt(A, kb.idx2(i, k, n));
+    kb.setReductionNext(nrm, kb.ir().fadd(nrm, kb.ir().fmul(av, av)));
+    kb.endLoop();
+  }
+  Value* norm = kb.ir().fsqrt(kb.reductionResult(nrm), "norm");
+  kb.storeAt(R, kb.idx2(k, k, n), norm);
+  {
+    Value* i = kb.beginLoop(0, n, "q");
+    kb.storeAt(Q, kb.idx2(i, k, n),
+               kb.ir().fdiv(kb.loadAt(A, kb.idx2(i, k, n)), norm));
+    kb.endLoop();
+  }
+  {
+    Value* jStart = kb.ir().add(k, kb.ir().i64(1));
+    Value* j = kb.beginLoop(jStart, kb.ir().i64(n), "j");
+    kb.storeAt(R, kb.idx2(k, j, n), kb.ir().f64(0.0));
+    {
+      Value* i = kb.beginLoop(0, n, "proj");
+      Value* rv = kb.loadAt(R, kb.idx2(k, j, n));
+      Value* prod = kb.ir().fmul(kb.loadAt(Q, kb.idx2(i, k, n)),
+                                 kb.loadAt(A, kb.idx2(i, j, n)));
+      kb.storeAt(R, kb.idx2(k, j, n), kb.ir().fadd(rv, prod));
+      kb.endLoop();
+    }
+    {
+      Value* i = kb.beginLoop(0, n, "upd");
+      Value* av = kb.loadAt(A, kb.idx2(i, j, n));
+      Value* prod = kb.ir().fmul(kb.loadAt(Q, kb.idx2(i, k, n)),
+                                 kb.loadAt(R, kb.idx2(k, j, n)));
+      kb.storeAt(A, kb.idx2(i, j, n), kb.ir().fsub(av, prod));
+      kb.endLoop();
+    }
+    kb.endLoop();
+  }
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildLu() {
+  constexpr int64_t n = 24;
+  auto m = std::make_unique<Module>("lu");
+  auto* A = m->addGlobal("A", Type::f64(), n * n);
+  std::vector<double> init(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      init[static_cast<size_t>(i * n + j)] =
+          i == j ? static_cast<double>(n) : 0.3;
+    }
+  }
+  A->setInit(init);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* i = kb.beginLoop(0, n, "i");
+  {
+    Value* j = kb.beginLoop(kb.ir().i64(0), i, "low");
+    Value* k = kb.beginLoop(kb.ir().i64(0), j, "low.k");
+    Value* prod = kb.ir().fmul(kb.loadAt(A, kb.idx2(i, k, n)),
+                               kb.loadAt(A, kb.idx2(k, j, n)));
+    kb.storeAt(A, kb.idx2(i, j, n),
+               kb.ir().fsub(kb.loadAt(A, kb.idx2(i, j, n)), prod));
+    kb.endLoop();
+    kb.storeAt(A, kb.idx2(i, j, n),
+               kb.ir().fdiv(kb.loadAt(A, kb.idx2(i, j, n)),
+                            kb.loadAt(A, kb.idx2(j, j, n))));
+    kb.endLoop();
+  }
+  {
+    Value* j = kb.beginLoop(i, kb.ir().i64(n), "up");
+    Value* k = kb.beginLoop(kb.ir().i64(0), i, "up.k");
+    Value* prod = kb.ir().fmul(kb.loadAt(A, kb.idx2(i, k, n)),
+                               kb.loadAt(A, kb.idx2(k, j, n)));
+    kb.storeAt(A, kb.idx2(i, j, n),
+               kb.ir().fsub(kb.loadAt(A, kb.idx2(i, j, n)), prod));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildTrisolv() {
+  constexpr int64_t n = 64;
+  auto m = std::make_unique<Module>("trisolv");
+  auto* L = m->addGlobal("L", Type::f64(), n * n);
+  auto* x = m->addGlobal("x", Type::f64(), n);
+  auto* b = m->addGlobal("b", Type::f64(), n);
+  std::vector<double> init(static_cast<size_t>(n * n), 0.05);
+  for (int64_t i = 0; i < n; ++i) {
+    init[static_cast<size_t>(i * n + i)] = 2.0;
+  }
+  L->setInit(init);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* i = kb.beginLoop(0, n, "i");
+  kb.storeAt(x, i, kb.loadAt(b, i));
+  Value* j = kb.beginLoop(kb.ir().i64(0), i, "j");
+  Value* xv = kb.loadAt(x, i);
+  Value* prod = kb.ir().fmul(kb.loadAt(L, kb.idx2(i, j, n)), kb.loadAt(x, j));
+  kb.storeAt(x, i, kb.ir().fsub(xv, prod));
+  kb.endLoop();
+  kb.storeAt(x, i, kb.ir().fdiv(kb.loadAt(x, i),
+                                kb.loadAt(L, kb.idx2(i, i, n))));
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildCovariance() {
+  constexpr int64_t n = 28, d = 24;
+  auto m = std::make_unique<Module>("covariance");
+  auto* data = m->addGlobal("data", Type::f64(), n * d);
+  auto* mean = m->addGlobal("mean", Type::f64(), d);
+  auto* cov = m->addGlobal("cov", Type::f64(), d * d);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  {
+    Value* j = kb.beginLoop(0, d, "mean");
+    kb.storeAt(mean, j, kb.ir().f64(0.0));
+    Value* i = kb.beginLoop(0, n, "mean.i");
+    Value* acc = kb.loadAt(mean, j);
+    kb.storeAt(mean, j, kb.ir().fadd(acc, kb.loadAt(data, kb.idx2(i, j, d))));
+    kb.endLoop();
+    kb.storeAt(mean, j, kb.ir().fdiv(kb.loadAt(mean, j),
+                                     kb.ir().f64(static_cast<double>(n))));
+    kb.endLoop();
+  }
+  {
+    Value* i = kb.beginLoop(0, n, "center");
+    Value* j = kb.beginLoop(0, d, "center.j");
+    Value* v = kb.ir().fsub(kb.loadAt(data, kb.idx2(i, j, d)),
+                            kb.loadAt(mean, j));
+    kb.storeAt(data, kb.idx2(i, j, d), v);
+    kb.endLoop();
+    kb.endLoop();
+  }
+  {
+    Value* i = kb.beginLoop(0, d, "cov");
+    Value* j = kb.beginLoop(i, kb.ir().i64(d), "cov.j");
+    kb.storeAt(cov, kb.idx2(i, j, d), kb.ir().f64(0.0));
+    Value* k = kb.beginLoop(0, n, "cov.k");
+    Value* prod = kb.ir().fmul(kb.loadAt(data, kb.idx2(k, i, d)),
+                               kb.loadAt(data, kb.idx2(k, j, d)));
+    Value* acc = kb.loadAt(cov, kb.idx2(i, j, d));
+    kb.storeAt(cov, kb.idx2(i, j, d), kb.ir().fadd(acc, prod));
+    kb.endLoop();
+    kb.storeAt(cov, kb.idx2(j, i, d), kb.loadAt(cov, kb.idx2(i, j, d)));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildJacobi2d() {
+  constexpr int64_t n = 30, steps = 8;
+  auto m = std::make_unique<Module>("jacobi-2d");
+  auto* A = m->addGlobal("A", Type::f64(), n * n);
+  auto* B = m->addGlobal("B", Type::f64(), n * n);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  kb.beginLoop(0, steps, "t");
+  {
+    Value* i = kb.beginLoop(1, n - 1, "a.i");
+    Value* j = kb.beginLoop(1, n - 1, "a.j");
+    Value* c = kb.loadAt(A, kb.idx2(i, j, n));
+    Value* w = kb.loadAt(A, kb.idx2(i, kb.ir().sub(j, kb.ir().i64(1)), n));
+    Value* e = kb.loadAt(A, kb.idx2(i, kb.ir().add(j, kb.ir().i64(1)), n));
+    Value* no = kb.loadAt(A, kb.idx2(kb.ir().sub(i, kb.ir().i64(1)), j, n));
+    Value* so = kb.loadAt(A, kb.idx2(kb.ir().add(i, kb.ir().i64(1)), j, n));
+    Value* sum = kb.ir().fadd(kb.ir().fadd(c, w),
+                              kb.ir().fadd(e, kb.ir().fadd(no, so)));
+    kb.storeAt(B, kb.idx2(i, j, n), kb.ir().fmul(sum, kb.ir().f64(0.2)));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  {
+    Value* i = kb.beginLoop(1, n - 1, "b.i");
+    Value* j = kb.beginLoop(1, n - 1, "b.j");
+    Value* c = kb.loadAt(B, kb.idx2(i, j, n));
+    Value* w = kb.loadAt(B, kb.idx2(i, kb.ir().sub(j, kb.ir().i64(1)), n));
+    Value* e = kb.loadAt(B, kb.idx2(i, kb.ir().add(j, kb.ir().i64(1)), n));
+    Value* no = kb.loadAt(B, kb.idx2(kb.ir().sub(i, kb.ir().i64(1)), j, n));
+    Value* so = kb.loadAt(B, kb.idx2(kb.ir().add(i, kb.ir().i64(1)), j, n));
+    Value* sum = kb.ir().fadd(kb.ir().fadd(c, w),
+                              kb.ir().fadd(e, kb.ir().fadd(no, so)));
+    kb.storeAt(A, kb.idx2(i, j, n), kb.ir().fmul(sum, kb.ir().f64(0.2)));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildDeriche() {
+  constexpr int64_t w = 32, h = 24;
+  auto m = std::make_unique<Module>("deriche");
+  auto* img = m->addGlobal("img", Type::f64(), w * h);
+  auto* y1 = m->addGlobal("y1", Type::f64(), w * h);
+  auto* y2 = m->addGlobal("y2", Type::f64(), w * h);
+  auto* out = m->addGlobal("out", Type::f64(), w * h);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  // Horizontal causal pass: y1[i][j] = a*img + b*y1[i][j-1].
+  {
+    Value* i = kb.beginLoop(0, h, "hf.i");
+    kb.storeAt(y1, kb.idx2(i, kb.ir().i64(0), w), kb.ir().f64(0.0));
+    Value* j = kb.beginLoop(1, w, "hf.j");
+    Value* cur = kb.ir().fmul(kb.loadAt(img, kb.idx2(i, j, w)),
+                              kb.ir().f64(0.25));
+    Value* prev = kb.ir().fmul(
+        kb.loadAt(y1, kb.idx2(i, kb.ir().sub(j, kb.ir().i64(1)), w)),
+        kb.ir().f64(0.75));
+    kb.storeAt(y1, kb.idx2(i, j, w), kb.ir().fadd(cur, prev));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  // Horizontal anticausal pass.
+  {
+    Value* i = kb.beginLoop(0, h, "hb.i");
+    kb.storeAt(y2, kb.idx2(i, kb.ir().i64(w - 1), w), kb.ir().f64(0.0));
+    Value* jj = kb.beginLoop(1, w, "hb.j");
+    Value* j = kb.ir().sub(kb.ir().i64(w - 1), jj, "rev");
+    Value* cur = kb.ir().fmul(kb.loadAt(img, kb.idx2(i, j, w)),
+                              kb.ir().f64(0.25));
+    Value* prev = kb.ir().fmul(
+        kb.loadAt(y2, kb.idx2(i, kb.ir().add(j, kb.ir().i64(1)), w)),
+        kb.ir().f64(0.75));
+    kb.storeAt(y2, kb.idx2(i, j, w), kb.ir().fadd(cur, prev));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  // Combine.
+  {
+    Value* i = kb.beginLoop(0, h, "sum.i");
+    Value* j = kb.beginLoop(0, w, "sum.j");
+    kb.storeAt(out, kb.idx2(i, j, w),
+               kb.ir().fadd(kb.loadAt(y1, kb.idx2(i, j, w)),
+                            kb.loadAt(y2, kb.idx2(i, j, w))));
+    kb.endLoop();
+    kb.endLoop();
+  }
+  kb.endFunction();
+  return m;
+}
+
+std::unique_ptr<Module> buildFloydWarshall() {
+  constexpr int64_t n = 24;
+  auto m = std::make_unique<Module>("floyd-warshall");
+  auto* path = m->addGlobal("path", Type::f64(), n * n);
+  KernelBuilder kb(m.get());
+  kb.beginFunction("main");
+  Value* k = kb.beginLoop(0, n, "k");
+  Value* i = kb.beginLoop(0, n, "i");
+  Value* j = kb.beginLoop(0, n, "j");
+  Value* direct = kb.loadAt(path, kb.idx2(i, j, n));
+  Value* via = kb.ir().fadd(kb.loadAt(path, kb.idx2(i, k, n)),
+                            kb.loadAt(path, kb.idx2(k, j, n)));
+  kb.storeAt(path, kb.idx2(i, j, n), kb.ir().fmin(direct, via));
+  kb.endLoop();
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  return m;
+}
+
+}  // namespace
+
+std::vector<WorkloadInfo> polybenchWorkloads() {
+  return {
+      {"3mm", "PolyBench", "", build3mm},
+      {"atax", "PolyBench", "", buildAtax},
+      {"bicg", "PolyBench", "", buildBicg},
+      {"doitgen", "PolyBench", "", buildDoitgen},
+      {"mvt", "PolyBench", "", buildMvt},
+      {"symm", "PolyBench", "", buildSymm},
+      {"syrk", "PolyBench", "", buildSyrk},
+      {"trmm", "PolyBench", "", buildTrmm},
+      {"cholesky", "PolyBench", "", buildCholesky},
+      {"gramschmidt", "PolyBench", "", buildGramschmidt},
+      {"lu", "PolyBench", "", buildLu},
+      {"trisolv", "PolyBench", "", buildTrisolv},
+      {"covariance", "PolyBench", "", buildCovariance},
+      {"jacobi-2d", "PolyBench", "", buildJacobi2d},
+      {"deriche", "PolyBench",
+       "two-pass IIR variant of the four-pass filter (same recurrence "
+       "structure)",
+       buildDeriche},
+      {"floyd-warshall", "PolyBench", "", buildFloydWarshall},
+  };
+}
+
+}  // namespace cayman::workloads

@@ -1,0 +1,37 @@
+#include "workloads/workloads.h"
+
+#include "ir/verifier.h"
+#include "support/error.h"
+
+namespace cayman::workloads {
+
+const std::vector<WorkloadInfo>& all() {
+  static const std::vector<WorkloadInfo> registry = [] {
+    std::vector<WorkloadInfo> list;
+    for (auto suite : {polybenchWorkloads(), machsuiteWorkloads(),
+                       mediabenchWorkloads(), coremarkWorkloads()}) {
+      list.insert(list.end(), suite.begin(), suite.end());
+    }
+    return list;
+  }();
+  return registry;
+}
+
+const WorkloadInfo* byName(std::string_view name) {
+  for (const WorkloadInfo& info : all()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ir::Module> build(std::string_view name) {
+  const WorkloadInfo* info = byName(name);
+  if (info == nullptr) {
+    throw Error("unknown workload: " + std::string(name));
+  }
+  std::unique_ptr<ir::Module> module = info->build();
+  ir::verifyOrThrow(*module);
+  return module;
+}
+
+}  // namespace cayman::workloads

@@ -1,0 +1,41 @@
+// Benchmark registry: the 28 applications of the paper's evaluation
+// (PolyBench, MachSuite, MediaBench, CoreMark-Pro), re-authored as IR
+// programs. PolyBench/MachSuite kernels are faithful ports at reduced
+// problem sizes; MediaBench/CoreMark-Pro entries are structurally
+// equivalent synthetic kernels (see each builder's comment) because the
+// original sources are not redistributable here — they preserve hotspot
+// distribution, control-flow richness, and access patterns.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace cayman::workloads {
+
+struct WorkloadInfo {
+  std::string name;
+  std::string suite;
+  /// Substitution note (empty for faithful ports).
+  std::string note;
+  std::function<std::unique_ptr<ir::Module>()> build;
+};
+
+/// All registered workloads in the paper's Table II order.
+const std::vector<WorkloadInfo>& all();
+
+/// Lookup by name; nullptr when unknown.
+const WorkloadInfo* byName(std::string_view name);
+
+/// Builds (and verifies) a workload module by name; throws on unknown names.
+std::unique_ptr<ir::Module> build(std::string_view name);
+
+// Suite builders (one translation unit each).
+std::vector<WorkloadInfo> polybenchWorkloads();
+std::vector<WorkloadInfo> machsuiteWorkloads();
+std::vector<WorkloadInfo> mediabenchWorkloads();
+std::vector<WorkloadInfo> coremarkWorkloads();
+
+}  // namespace cayman::workloads

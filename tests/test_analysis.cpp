@@ -1,0 +1,517 @@
+// Unit tests for the analysis substrate: CFG, dominators, loops, regions
+// (wPST), scalar evolution, and memory dependence analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/memdep.h"
+#include "analysis/regions.h"
+#include "analysis/scev.h"
+#include "ir/verifier.h"
+#include "workloads/kernel_builder.h"
+
+namespace cayman::analysis {
+namespace {
+
+using workloads::KernelBuilder;
+
+/// y[i] = k * x[i] + b over i in [0, 64).
+std::unique_ptr<ir::Module> buildLinear() {
+  auto module = std::make_unique<ir::Module>("linear");
+  auto* x = module->addGlobal("x", ir::Type::f64(), 64);
+  auto* y = module->addGlobal("y", ir::Type::f64(), 64);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 64, "i");
+  ir::Value* xi = kb.loadAt(x, i);
+  ir::Value* scaled = kb.ir().fmul(xi, kb.ir().f64(2.0));
+  ir::Value* shifted = kb.ir().fadd(scaled, kb.ir().f64(1.0));
+  kb.storeAt(y, i, shifted);
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+  return module;
+}
+
+/// z[i] += A[i*M+j] * B[i*M+j] — two nested loops with a carried dep on j.
+std::unique_ptr<ir::Module> buildDotRows() {
+  auto module = std::make_unique<ir::Module>("dotrows");
+  auto* a = module->addGlobal("A", ir::Type::f64(), 16 * 8);
+  auto* bArr = module->addGlobal("B", ir::Type::f64(), 16 * 8);
+  auto* z = module->addGlobal("z", ir::Type::f64(), 16);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 16, "i");
+  ir::Value* j = kb.beginLoop(0, 8, "j");
+  ir::Value* idx = kb.idx2(i, j, 8);
+  ir::Value* av = kb.loadAt(a, idx);
+  ir::Value* bv = kb.loadAt(bArr, idx);
+  ir::Value* prod = kb.ir().fmul(av, bv);
+  ir::Value* zv = kb.loadAt(z, i);
+  ir::Value* sum = kb.ir().fadd(zv, prod);
+  kb.storeAt(z, i, sum);
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+  return module;
+}
+
+/// Loop with an if/else diamond in the body.
+std::unique_ptr<ir::Module> buildBranchy() {
+  auto module = std::make_unique<ir::Module>("branchy");
+  auto* v = module->addGlobal("v", ir::Type::i64(), 32);
+  auto* out = module->addGlobal("out", ir::Type::i64(), 32);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 32, "i");
+  ir::Value* value = kb.loadAt(v, i);
+  ir::Value* isNeg = kb.ir().icmp(ir::CmpPred::LT, value, kb.ir().i64(0));
+  kb.beginIf(isNeg, /*withElse=*/true);
+  kb.storeAt(out, i, kb.ir().sub(kb.ir().i64(0), value));
+  kb.beginElse();
+  kb.storeAt(out, i, value);
+  kb.endIf();
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+  return module;
+}
+
+// --------------------------------------------------------------------------
+// CFG and dominators
+// --------------------------------------------------------------------------
+
+TEST(CfgTest, RpoStartsAtEntryAndCoversAllBlocks) {
+  auto module = buildLinear();
+  const ir::Function* f = module->entryFunction();
+  Cfg cfg(*f);
+  EXPECT_EQ(cfg.rpo().front(), f->entry());
+  EXPECT_EQ(cfg.rpo().size(), f->numBlocks());
+  EXPECT_EQ(cfg.rpoIndex(f->entry()), 0);
+}
+
+TEST(CfgTest, PredecessorsAreInverted) {
+  auto module = buildLinear();
+  const ir::Function* f = module->entryFunction();
+  Cfg cfg(*f);
+  const ir::BasicBlock* header = f->blockByName("i.header");
+  ASSERT_NE(header, nullptr);
+  EXPECT_EQ(cfg.predecessors(header).size(), 2u);  // entry + latch
+  EXPECT_EQ(cfg.exitBlocks().size(), 1u);
+}
+
+TEST(DomTest, HeaderDominatesBodyAndExit) {
+  auto module = buildLinear();
+  const ir::Function* f = module->entryFunction();
+  Cfg cfg(*f);
+  DominatorTree dom = DominatorTree::dominators(cfg);
+  const ir::BasicBlock* header = f->blockByName("i.header");
+  const ir::BasicBlock* body = f->blockByName("i.body");
+  const ir::BasicBlock* exit = f->blockByName("i.exit");
+  EXPECT_TRUE(dom.dominates(f->entry(), header));
+  EXPECT_TRUE(dom.dominates(header, body));
+  EXPECT_TRUE(dom.dominates(header, exit));
+  EXPECT_FALSE(dom.dominates(body, exit));
+  EXPECT_TRUE(dom.dominates(header, header));
+  EXPECT_FALSE(dom.strictlyDominates(header, header));
+}
+
+TEST(DomTest, PostDominanceOfJoin) {
+  auto module = buildBranchy();
+  const ir::Function* f = module->entryFunction();
+  Cfg cfg(*f);
+  DominatorTree postDom = DominatorTree::postDominators(cfg);
+  const ir::BasicBlock* branch = f->blockByName("i.body");
+  const ir::BasicBlock* join = f->blockByName("if.join");
+  ASSERT_NE(branch, nullptr);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(postDom.idom(branch), join);
+  EXPECT_TRUE(postDom.dominates(join, branch));
+}
+
+// --------------------------------------------------------------------------
+// Loops
+// --------------------------------------------------------------------------
+
+TEST(LoopTest, SingleLoopCanonicalForm) {
+  auto module = buildLinear();
+  const ir::Function* f = module->entryFunction();
+  FunctionAnalyses fa(*f);
+  ASSERT_EQ(fa.loops.loops().size(), 1u);
+  const Loop* loop = fa.loops.loops()[0].get();
+  EXPECT_EQ(loop->header(), f->blockByName("i.header"));
+  EXPECT_EQ(loop->preheader(), f->entry());
+  EXPECT_EQ(loop->latch(), f->blockByName("i.latch"));
+  ASSERT_EQ(loop->exitBlocks().size(), 1u);
+  EXPECT_EQ(loop->exitBlocks()[0], f->blockByName("i.exit"));
+  EXPECT_EQ(loop->depth(), 1u);
+  EXPECT_TRUE(loop->isInnermost());
+}
+
+TEST(LoopTest, NestingDepths) {
+  auto module = buildDotRows();
+  const ir::Function* f = module->entryFunction();
+  FunctionAnalyses fa(*f);
+  ASSERT_EQ(fa.loops.loops().size(), 2u);
+  ASSERT_EQ(fa.loops.topLevelLoops().size(), 1u);
+  const Loop* outer = fa.loops.topLevelLoops()[0];
+  ASSERT_EQ(outer->subLoops().size(), 1u);
+  const Loop* inner = outer->subLoops()[0];
+  EXPECT_EQ(outer->depth(), 1u);
+  EXPECT_EQ(inner->depth(), 2u);
+  EXPECT_TRUE(outer->contains(inner));
+  EXPECT_FALSE(inner->contains(outer));
+  EXPECT_EQ(fa.loops.loopFor(f->blockByName("j.body")), inner);
+  EXPECT_EQ(fa.loops.loopFor(f->blockByName("i.body")), inner->parent());
+  EXPECT_EQ(fa.loops.loopDepth(f->blockByName("j.body")), 2u);
+  EXPECT_EQ(fa.loops.loopDepth(f->entry()), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Regions / wPST
+// --------------------------------------------------------------------------
+
+TEST(RegionTest, WPstShapeForNestedLoops) {
+  auto module = buildDotRows();
+  WPst wpst(*module);
+  const Region* root = wpst.root();
+  EXPECT_EQ(root->kind(), RegionKind::Root);
+  ASSERT_EQ(root->children().size(), 1u);  // one function
+  const Region* funcRegion = root->children()[0].get();
+  EXPECT_EQ(funcRegion->kind(), RegionKind::Function);
+
+  // Function scope: entry bb, outer loop region, exit bb.
+  int loopRegions = 0;
+  funcRegion->walk([&](const Region& r) {
+    if (r.kind() == RegionKind::Loop) ++loopRegions;
+  });
+  EXPECT_EQ(loopRegions, 2);
+
+  const ir::Function* f = module->entryFunction();
+  const FunctionAnalyses& fa = wpst.analyses(f);
+  const Loop* outer = fa.loops.topLevelLoops()[0];
+  const Region* outerRegion = wpst.loopRegion(outer);
+  ASSERT_NE(outerRegion, nullptr);
+  EXPECT_EQ(outerRegion->kind(), RegionKind::Loop);
+  EXPECT_EQ(outerRegion->parent(), funcRegion);
+  const Region* innerRegion = wpst.loopRegion(outer->subLoops()[0]);
+  ASSERT_NE(innerRegion, nullptr);
+  EXPECT_EQ(innerRegion->parent(), outerRegion);
+  EXPECT_TRUE(outerRegion->isCandidate());
+}
+
+TEST(RegionTest, IfDiamondBecomesCtrlFlowRegion) {
+  auto module = buildBranchy();
+  WPst wpst(*module);
+  int ifRegions = 0;
+  const Region* ifRegion = nullptr;
+  wpst.root()->walk([&](const Region& r) {
+    if (r.kind() == RegionKind::If) {
+      ++ifRegions;
+      ifRegion = &r;
+    }
+  });
+  ASSERT_EQ(ifRegions, 1);
+  // The if region holds the branch bb plus both arms.
+  EXPECT_GE(ifRegion->blocks().size(), 3u);
+  EXPECT_TRUE(ifRegion->isCandidate());
+  // It nests inside the loop region.
+  EXPECT_EQ(ifRegion->parent()->kind(), RegionKind::Loop);
+}
+
+TEST(RegionTest, BbRegionLookupAndAnchors) {
+  auto module = buildLinear();
+  WPst wpst(*module);
+  const ir::Function* f = module->entryFunction();
+  const ir::BasicBlock* body = f->blockByName("i.body");
+  const Region* bb = wpst.bbRegion(body);
+  ASSERT_NE(bb, nullptr);
+  EXPECT_EQ(bb->kind(), RegionKind::Bb);
+  EXPECT_EQ(bb->profileAnchor(), body);
+  EXPECT_EQ(bb->parent()->kind(), RegionKind::Loop);
+  EXPECT_EQ(bb->parent()->profileAnchor(), f->entry());  // preheader
+}
+
+TEST(RegionTest, RegionsWithCallsAreNotCandidates) {
+  auto module = std::make_unique<ir::Module>("calls");
+  KernelBuilder kb(module.get());
+  kb.beginFunction("callee");
+  kb.endFunction();
+  kb.beginFunction("main");
+  kb.beginLoop(0, 8, "i");
+  kb.ir().call(module->functionByName("callee"), {});
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  WPst wpst(*module);
+  const ir::Function* main = module->functionByName("main");
+  const FunctionAnalyses& fa = wpst.analyses(main);
+  const Region* loopRegion = wpst.loopRegion(fa.loops.topLevelLoops()[0]);
+  ASSERT_NE(loopRegion, nullptr);
+  EXPECT_TRUE(loopRegion->containsCall());
+  EXPECT_FALSE(loopRegion->isCandidate());
+}
+
+TEST(RegionTest, IdsAreDenseAndStable) {
+  auto module = buildDotRows();
+  WPst wpst(*module);
+  const auto& all = wpst.allRegions();
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i]->id(), static_cast<int>(i));
+    EXPECT_EQ(wpst.regionById(static_cast<int>(i)), all[i]);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Scalar evolution
+// --------------------------------------------------------------------------
+
+TEST(ScevTest, RecognizesInductionVariable) {
+  auto module = buildLinear();
+  const ir::Function* f = module->entryFunction();
+  FunctionAnalyses fa(*f);
+  ScalarEvolution scev(*f, fa);
+  const Loop* loop = fa.loops.loops()[0].get();
+  auto ivs = scev.inductionVars(loop);
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0]->step, 1);
+  ASSERT_TRUE(ivs[0]->init.has_value());
+  EXPECT_EQ(*ivs[0]->init, 0);
+}
+
+TEST(ScevTest, StaticTripCount) {
+  auto module = buildDotRows();
+  const ir::Function* f = module->entryFunction();
+  FunctionAnalyses fa(*f);
+  ScalarEvolution scev(*f, fa);
+  const Loop* outer = fa.loops.topLevelLoops()[0];
+  const Loop* inner = outer->subLoops()[0];
+  TripCount outerTrip = scev.tripCount(outer);
+  TripCount innerTrip = scev.tripCount(inner);
+  ASSERT_TRUE(outerTrip.known);
+  EXPECT_EQ(outerTrip.value, 16u);
+  ASSERT_TRUE(innerTrip.known);
+  EXPECT_EQ(innerTrip.value, 8u);
+}
+
+TEST(ScevTest, AffineAddressOfNestedAccess) {
+  auto module = buildDotRows();
+  const ir::Function* f = module->entryFunction();
+  FunctionAnalyses fa(*f);
+  ScalarEvolution scev(*f, fa);
+
+  // Find the load from A.
+  const ir::Instruction* loadA = nullptr;
+  for (const auto& block : f->blocks()) {
+    for (const auto& inst : block->instructions()) {
+      if (inst->opcode() != ir::Opcode::Load) continue;
+      AddressInfo info = scev.addressOf(inst.get());
+      if (info.valid && info.base->name() == "A") loadA = inst.get();
+    }
+  }
+  ASSERT_NE(loadA, nullptr);
+
+  AddressInfo info = scev.addressOf(loadA);
+  ASSERT_TRUE(info.valid);
+  const Loop* outer = fa.loops.topLevelLoops()[0];
+  const Loop* inner = outer->subLoops()[0];
+  // Byte strides: 8*8=64 for i, 8 for j.
+  EXPECT_EQ(info.offset.coeffForLoop(outer), 64);
+  EXPECT_EQ(info.offset.coeffForLoop(inner), 8);
+  EXPECT_TRUE(info.offset.isStreamIn(inner));
+  EXPECT_TRUE(info.offset.isStreamIn(outer));
+}
+
+TEST(ScevTest, TripCountDirectionsAndSteps) {
+  auto module = std::make_unique<ir::Module>("steps");
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  kb.beginLoop(0, 10, "a", 3);  // 0,3,6,9 -> 4 iters
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+  const ir::Function* f = module->entryFunction();
+  FunctionAnalyses fa(*f);
+  ScalarEvolution scev(*f, fa);
+  TripCount trip = scev.tripCount(fa.loops.topLevelLoops()[0]);
+  ASSERT_TRUE(trip.known);
+  EXPECT_EQ(trip.value, 4u);
+}
+
+// --------------------------------------------------------------------------
+// Memory dependence
+// --------------------------------------------------------------------------
+
+TEST(MemDepTest, ReductionCreatesInnerLoopDep) {
+  auto module = buildDotRows();
+  const ir::Function* f = module->entryFunction();
+  FunctionAnalyses fa(*f);
+  ScalarEvolution scev(*f, fa);
+  MemoryAnalysis mem(*f, fa, scev);
+
+  const Loop* outer = fa.loops.topLevelLoops()[0];
+  const Loop* inner = outer->subLoops()[0];
+  // z[i] += ...: the store/load to z repeat the same address every j
+  // iteration -> inner-loop carried dep; i-loop has none.
+  EXPECT_TRUE(mem.hasCarriedDep(inner));
+  EXPECT_FALSE(mem.hasCarriedDep(outer));
+
+  const auto& deps = mem.carriedDeps(inner);
+  bool sawMemoryDep = false;
+  for (const auto& dep : deps) {
+    if (dep.kind == LoopCarriedDep::Kind::Memory) {
+      sawMemoryDep = true;
+      EXPECT_EQ(dep.distance, 1u);
+      EXPECT_FALSE(dep.chain.empty());
+    }
+  }
+  EXPECT_TRUE(sawMemoryDep);
+}
+
+TEST(MemDepTest, ElementwiseLoopHasNoCarriedDep) {
+  auto module = buildLinear();
+  const ir::Function* f = module->entryFunction();
+  FunctionAnalyses fa(*f);
+  ScalarEvolution scev(*f, fa);
+  MemoryAnalysis mem(*f, fa, scev);
+  EXPECT_FALSE(mem.hasCarriedDep(fa.loops.topLevelLoops()[0]));
+}
+
+TEST(MemDepTest, ShiftedStoreCreatesDistanceDep) {
+  // out[i+1] = out[i] * 0.5 : carried dep with distance 1.
+  auto module = std::make_unique<ir::Module>("shift");
+  auto* out = module->addGlobal("out", ir::Type::f64(), 64);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 63, "i");
+  ir::Value* cur = kb.loadAt(out, i);
+  ir::Value* scaled = kb.ir().fmul(cur, kb.ir().f64(0.5));
+  ir::Value* next = kb.ir().add(i, kb.ir().i64(1));
+  kb.storeAt(out, next, scaled);
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  const ir::Function* f = module->entryFunction();
+  FunctionAnalyses fa(*f);
+  ScalarEvolution scev(*f, fa);
+  MemoryAnalysis mem(*f, fa, scev);
+  const Loop* loop = fa.loops.topLevelLoops()[0];
+  const auto& deps = mem.carriedDeps(loop);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].kind, LoopCarriedDep::Kind::Memory);
+  EXPECT_EQ(deps[0].distance, 1u);
+}
+
+TEST(MemDepTest, ScalarReductionDetected) {
+  // acc += x[i] via a reduction phi (no memory round-trip).
+  auto module = std::make_unique<ir::Module>("reduce");
+  auto* x = module->addGlobal("x", ir::Type::f64(), 64);
+  auto* out = module->addGlobal("out", ir::Type::f64(), 1);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 64, "i");
+  ir::Instruction* acc =
+      kb.reduction(ir::Type::f64(), kb.ir().f64(0.0), "acc");
+  ir::Value* xi = kb.loadAt(x, i);
+  ir::Value* sum = kb.ir().fadd(acc, xi, "acc.next");
+  kb.setReductionNext(acc, sum);
+  kb.endLoop();
+  kb.storeAt(out, kb.ir().i64(0), kb.reductionResult(acc));
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  const ir::Function* f = module->entryFunction();
+  FunctionAnalyses fa(*f);
+  ScalarEvolution scev(*f, fa);
+  MemoryAnalysis mem(*f, fa, scev);
+  const Loop* loop = fa.loops.topLevelLoops()[0];
+  const auto& deps = mem.carriedDeps(loop);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].kind, LoopCarriedDep::Kind::Scalar);
+  // The chain must include the fadd.
+  bool hasFAdd = false;
+  for (const ir::Instruction* inst : deps[0].chain) {
+    if (inst->opcode() == ir::Opcode::FAdd) hasFAdd = true;
+  }
+  EXPECT_TRUE(hasFAdd);
+}
+
+TEST(MemDepTest, StreamAndFootprint) {
+  auto module = buildDotRows();
+  const ir::Function* f = module->entryFunction();
+  WPst wpst(*module);
+  const FunctionAnalyses& fa = wpst.analyses(f);
+  ScalarEvolution scev(*f, fa);
+  MemoryAnalysis mem(*f, fa, scev);
+
+  const Loop* outer = fa.loops.topLevelLoops()[0];
+  const Loop* inner = outer->subLoops()[0];
+  const Region* outerRegion = wpst.loopRegion(outer);
+  const Region* innerRegion = wpst.loopRegion(inner);
+
+  const ir::Instruction* loadA = nullptr;
+  const ir::Instruction* loadZ = nullptr;
+  for (const MemAccessInfo& info : mem.accesses()) {
+    if (!info.addr.valid || info.isStore) continue;
+    if (info.addr.base->name() == "A") loadA = info.inst;
+    if (info.addr.base->name() == "z") loadZ = info.inst;
+  }
+  ASSERT_NE(loadA, nullptr);
+  ASSERT_NE(loadZ, nullptr);
+
+  EXPECT_TRUE(mem.isStream(loadA, inner));
+  EXPECT_TRUE(mem.isStream(loadZ, inner));  // invariant = degenerate stream
+
+  // Paper Fig. 2d: ld A footprint M in the inner loop; ld z footprint 1.
+  auto fpA = mem.footprintElems(loadA, innerRegion, 1);
+  auto fpZ = mem.footprintElems(loadZ, innerRegion, 1);
+  ASSERT_TRUE(fpA.has_value());
+  ASSERT_TRUE(fpZ.has_value());
+  EXPECT_EQ(*fpA, 8u);
+  EXPECT_EQ(*fpZ, 1u);
+
+  // Over the whole nest: A touches 16*8 elements, z touches 16.
+  auto fpAOuter = mem.footprintElems(loadA, outerRegion, 1);
+  auto fpZOuter = mem.footprintElems(loadZ, outerRegion, 1);
+  ASSERT_TRUE(fpAOuter.has_value());
+  EXPECT_EQ(*fpAOuter, 128u);
+  ASSERT_TRUE(fpZOuter.has_value());
+  EXPECT_EQ(*fpZOuter, 16u);
+}
+
+TEST(MemDepTest, IndirectAccessHasUnknownFootprint) {
+  // y[idx[i]] = x[i]: indirect store footprint unknown.
+  auto module = std::make_unique<ir::Module>("indirect");
+  auto* x = module->addGlobal("x", ir::Type::f64(), 64);
+  auto* y = module->addGlobal("y", ir::Type::f64(), 64);
+  auto* idx = module->addGlobal("idx", ir::Type::i64(), 64);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 64, "i");
+  ir::Value* xi = kb.loadAt(x, i);
+  ir::Value* target = kb.loadAt(idx, i);
+  kb.storeAt(y, target, xi);
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  const ir::Function* f = module->entryFunction();
+  WPst wpst(*module);
+  const FunctionAnalyses& fa = wpst.analyses(f);
+  ScalarEvolution scev(*f, fa);
+  MemoryAnalysis mem(*f, fa, scev);
+  const Loop* loop = fa.loops.topLevelLoops()[0];
+  const Region* region = wpst.loopRegion(loop);
+
+  const ir::Instruction* store = nullptr;
+  for (const MemAccessInfo& info : mem.accesses()) {
+    if (info.isStore) store = info.inst;
+  }
+  ASSERT_NE(store, nullptr);
+  EXPECT_FALSE(mem.isStream(store, loop));
+  EXPECT_FALSE(mem.footprintElems(store, region, 1).has_value());
+}
+
+}  // namespace
+}  // namespace cayman::analysis

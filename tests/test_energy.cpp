@@ -1,0 +1,64 @@
+// Tests for the energy-model extension.
+#include <gtest/gtest.h>
+
+#include "accel/energy.h"
+#include "cayman/framework.h"
+#include "workloads/workloads.h"
+
+namespace cayman::accel {
+namespace {
+
+TEST(EnergyTest, EmptySolutionCostsNothing) {
+  Framework fw(workloads::build("atax"));
+  EnergyModel energy(fw.model());
+  EnergyReport report =
+      energy.estimate(select::Solution{}, fw.totalCpuCycles());
+  EXPECT_DOUBLE_EQ(report.cpuEnergyUj, 0.0);
+  EXPECT_DOUBLE_EQ(report.accelEnergyUj, 0.0);
+  EXPECT_DOUBLE_EQ(report.idleLeakageUj, 0.0);
+  EXPECT_DOUBLE_EQ(report.savingsFactor(), 1.0);
+}
+
+TEST(EnergyTest, OffloadingSavesEnergyOnHotKernels) {
+  // The accelerator finishes the work in far fewer cycles on specialized
+  // hardware, so offloaded energy must come out below the CPU's.
+  Framework fw(workloads::build("3mm"));
+  select::Solution best = fw.best(0.25);
+  ASSERT_FALSE(best.empty());
+  EnergyModel energy(fw.model());
+  EnergyReport report = energy.estimate(best, fw.totalCpuCycles());
+  EXPECT_GT(report.cpuEnergyUj, 0.0);
+  EXPECT_GT(report.accelEnergyUj, 0.0);
+  EXPECT_GT(report.savingsFactor(), 1.0) << "offload should save energy";
+}
+
+TEST(EnergyTest, IdleLeakageProportionalToArea) {
+  // Same kernels and coverage, artificially doubled area: idle leakage must
+  // double (it is area x idle-time), dynamic energy must not change.
+  Framework fw(workloads::build("mvt"));
+  select::Solution best = fw.best(0.25);
+  ASSERT_FALSE(best.empty());
+  select::Solution doubled = best;
+  doubled.areaUm2 *= 2.0;
+  EnergyModel energy(fw.model());
+  EnergyReport a = energy.estimate(best, fw.totalCpuCycles());
+  EnergyReport b = energy.estimate(doubled, fw.totalCpuCycles());
+  EXPECT_NEAR(b.idleLeakageUj, 2.0 * a.idleLeakageUj, 1e-12);
+  EXPECT_GT(a.idleLeakageUj, 0.0);
+}
+
+TEST(EnergyTest, ParamsScaleLinearly) {
+  Framework fw(workloads::build("bicg"));
+  select::Solution best = fw.best(0.25);
+  EnergyParams doubled;
+  doubled.cpuPowerMw *= 2.0;
+  EnergyModel base(fw.model());
+  EnergyModel hot(fw.model(), doubled);
+  EnergyReport a = base.estimate(best, fw.totalCpuCycles());
+  EnergyReport b = hot.estimate(best, fw.totalCpuCycles());
+  EXPECT_NEAR(b.cpuEnergyUj, 2.0 * a.cpuEnergyUj, 1e-9);
+  EXPECT_DOUBLE_EQ(b.accelEnergyUj, a.accelEnergyUj);
+}
+
+}  // namespace
+}  // namespace cayman::accel

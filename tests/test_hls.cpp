@@ -1,0 +1,255 @@
+// Tests for the HLS substrate: technology library lookups, interface-aware
+// block scheduling, and pipelining MII bounds — including the relationships
+// the paper's Fig. 4 demonstrates.
+#include <gtest/gtest.h>
+
+#include "analysis/memdep.h"
+#include "hls/scheduler.h"
+#include "test_kernels.h"
+
+namespace cayman::hls {
+namespace {
+
+constexpr double kClock = 2.0;  // 500 MHz
+
+const ir::BasicBlock* bodyOf(const ir::Module& m, const char* name) {
+  const ir::BasicBlock* block = m.entryFunction()->blockByName(name);
+  EXPECT_NE(block, nullptr);
+  return block;
+}
+
+IfaceAssignment assignAll(const ir::BasicBlock& block, IfaceKind kind,
+                          unsigned partitions = 1) {
+  IfaceAssignment ifaces;
+  for (const auto& inst : block.instructions()) {
+    if (!inst->isMemoryAccess()) continue;
+    AccessIface iface;
+    iface.kind = kind;
+    iface.partitions = partitions;
+    // Resolve the backing array for scheduling conflicts / banking.
+    const ir::Value* ptr = inst->pointerOperand();
+    while (const auto* gep = ir::dynCast<ir::Instruction>(ptr)) {
+      ptr = gep->operand(0);
+    }
+    iface.array = ir::dynCast<ir::GlobalArray>(ptr);
+    ifaces[inst.get()] = iface;
+  }
+  return ifaces;
+}
+
+TEST(TechLibraryTest, DelaysAndAreasAreOrdered) {
+  TechLibrary tech = TechLibrary::nangate45();
+  // Multipliers dominate adders; FP dominates integer; div dominates mul.
+  EXPECT_GT(tech.opInfo(ir::Opcode::Mul, ir::Type::i64()).areaUm2,
+            tech.opInfo(ir::Opcode::Add, ir::Type::i64()).areaUm2);
+  EXPECT_GT(tech.opInfo(ir::Opcode::FAdd, ir::Type::f64()).delayNs,
+            tech.opInfo(ir::Opcode::Add, ir::Type::i64()).delayNs);
+  EXPECT_GT(tech.opInfo(ir::Opcode::FDiv, ir::Type::f64()).areaUm2,
+            tech.opInfo(ir::Opcode::FMul, ir::Type::f64()).areaUm2);
+  // Narrow datapaths are cheaper.
+  EXPECT_LT(tech.opInfo(ir::Opcode::Add, ir::Type::i32()).areaUm2,
+            tech.opInfo(ir::Opcode::Add, ir::Type::i64()).areaUm2);
+}
+
+TEST(TechLibraryTest, LatencyCyclesRoundUp) {
+  TechLibrary tech = TechLibrary::nangate45();
+  // fadd: 5.2ns at 2ns clock -> 3 cycles.
+  EXPECT_EQ(tech.latencyCycles(ir::Opcode::FAdd, ir::Type::f64(), kClock), 3u);
+  // Integer add fits one cycle.
+  EXPECT_EQ(tech.latencyCycles(ir::Opcode::Add, ir::Type::i64(), kClock), 1u);
+  // Phis are free.
+  EXPECT_EQ(tech.latencyCycles(ir::Opcode::Phi, ir::Type::i64(), kClock), 0u);
+  // Slower clock reduces cycle counts.
+  EXPECT_LE(tech.latencyCycles(ir::Opcode::FMul, ir::Type::f64(), 6.0),
+            tech.latencyCycles(ir::Opcode::FMul, ir::Type::f64(), kClock));
+}
+
+TEST(SchedulerTest, DecoupledBeatsCoupledSequentially) {
+  auto module = testing::linearKernel();
+  const ir::BasicBlock* body = bodyOf(*module, "i.body");
+  TechLibrary tech = TechLibrary::nangate45();
+  Scheduler scheduler(tech, InterfaceTiming{}, kClock);
+
+  BlockSchedule coupled =
+      scheduler.scheduleBlock(*body, assignAll(*body, IfaceKind::Coupled));
+  BlockSchedule decoupled =
+      scheduler.scheduleBlock(*body, assignAll(*body, IfaceKind::Decoupled));
+  // Fig. 4 sequential row: decoupled strictly shorter (6N vs 4N shape).
+  EXPECT_LT(decoupled.latency, coupled.latency);
+  EXPECT_GE(coupled.latency, 1u);
+  // Same datapath ops either way.
+  EXPECT_EQ(coupled.numOps, decoupled.numOps);
+  EXPECT_DOUBLE_EQ(coupled.opAreaUm2, decoupled.opAreaUm2);
+}
+
+TEST(SchedulerTest, PipelineIIMatchesFig4Shape) {
+  auto module = testing::linearKernel();
+  const ir::BasicBlock* body = bodyOf(*module, "i.body");
+  TechLibrary tech = TechLibrary::nangate45();
+  InterfaceTiming timing;
+  Scheduler scheduler(tech, timing, kClock);
+
+  unsigned coupledII =
+      scheduler.resMII(*body, assignAll(*body, IfaceKind::Coupled));
+  unsigned decoupledII =
+      scheduler.resMII(*body, assignAll(*body, IfaceKind::Decoupled));
+  // Fig. 4 pipelined row: coupled II bound by the shared port (3 for the
+  // load + 1 for the store with our constants); decoupled reaches II=1.
+  EXPECT_EQ(decoupledII, 1u);
+  EXPECT_EQ(coupledII,
+            timing.coupledLoadOccupancy + timing.coupledStoreOccupancy);
+}
+
+TEST(SchedulerTest, UnrolledScratchpadBeatsCoupled) {
+  auto module = testing::linearKernel();
+  const ir::BasicBlock* body = bodyOf(*module, "i.body");
+  TechLibrary tech = TechLibrary::nangate45();
+  Scheduler scheduler(tech, InterfaceTiming{}, kClock);
+
+  BlockSchedule coupledU2 =
+      scheduler.scheduleBlock(*body, assignAll(*body, IfaceKind::Coupled), 2);
+  BlockSchedule scratchU2 = scheduler.scheduleBlock(
+      *body, assignAll(*body, IfaceKind::Scratchpad, /*partitions=*/2), 2);
+  // Fig. 4 unrolled row: banked scratchpad removes the port serialization.
+  EXPECT_LT(scratchU2.latency, coupledU2.latency);
+  // Unrolling doubles datapath area.
+  BlockSchedule coupledU1 =
+      scheduler.scheduleBlock(*body, assignAll(*body, IfaceKind::Coupled), 1);
+  EXPECT_DOUBLE_EQ(coupledU2.opAreaUm2, 2.0 * coupledU1.opAreaUm2);
+}
+
+TEST(SchedulerTest, ScratchpadBanksLimitParallelism) {
+  auto module = testing::linearKernel();
+  const ir::BasicBlock* body = bodyOf(*module, "i.body");
+  TechLibrary tech = TechLibrary::nangate45();
+  Scheduler scheduler(tech, InterfaceTiming{}, kClock);
+
+  unsigned oneBank = scheduler.resMII(
+      *body, assignAll(*body, IfaceKind::Scratchpad, 1), /*unroll=*/4);
+  unsigned fourBanks = scheduler.resMII(
+      *body, assignAll(*body, IfaceKind::Scratchpad, 4), /*unroll=*/4);
+  EXPECT_GT(oneBank, fourBanks);
+  EXPECT_EQ(fourBanks, 1u);
+}
+
+TEST(SchedulerTest, PromotedAccessesAreFree) {
+  auto module = testing::linearKernel();
+  const ir::BasicBlock* body = bodyOf(*module, "i.body");
+  TechLibrary tech = TechLibrary::nangate45();
+  Scheduler scheduler(tech, InterfaceTiming{}, kClock);
+
+  IfaceAssignment promoted = assignAll(*body, IfaceKind::Coupled);
+  for (auto& [inst, iface] : promoted) iface.promoted = true;
+  EXPECT_EQ(scheduler.resMII(*body, promoted), 1u);
+  BlockSchedule sched = scheduler.scheduleBlock(*body, promoted);
+  BlockSchedule coupled =
+      scheduler.scheduleBlock(*body, assignAll(*body, IfaceKind::Coupled));
+  EXPECT_LT(sched.latency, coupled.latency);
+}
+
+TEST(SchedulerTest, MemoryOrderingSerializesConflictingAccesses) {
+  // st z; ld z (same address) must not reorder: latency covers both.
+  auto module = testing::dotRowsKernel();
+  const ir::BasicBlock* body = bodyOf(*module, "j.body");
+  TechLibrary tech = TechLibrary::nangate45();
+  Scheduler scheduler(tech, InterfaceTiming{}, kClock);
+  BlockSchedule sched =
+      scheduler.scheduleBlock(*body, assignAll(*body, IfaceKind::Coupled));
+  // 3 loads on one port: at least 3 * occupancy cycles of serialization.
+  InterfaceTiming timing;
+  EXPECT_GE(sched.latency, 3 * timing.coupledLoadOccupancy);
+}
+
+TEST(SchedulerTest, RecMIIFromCarriedDeps) {
+  auto module = testing::dotRowsKernel();
+  const ir::Function* f = module->entryFunction();
+  analysis::FunctionAnalyses fa(*f);
+  analysis::ScalarEvolution scev(*f, fa);
+  analysis::MemoryAnalysis mem(*f, fa, scev);
+  const analysis::Loop* inner = fa.loops.topLevelLoops()[0]->subLoops()[0];
+
+  TechLibrary tech = TechLibrary::nangate45();
+  Scheduler scheduler(tech, InterfaceTiming{}, kClock);
+  const ir::BasicBlock* body = bodyOf(*module, "j.body");
+
+  IfaceAssignment coupled = assignAll(*body, IfaceKind::Coupled);
+  unsigned recCoupled = scheduler.recMII(mem.carriedDeps(inner), coupled);
+  // Chain: ld z (3) + fadd (3) + st z (1) -> RecMII >= 7.
+  EXPECT_GE(recCoupled, 7u);
+
+  // Promoting z's load/store shrinks the recurrence to the fadd alone.
+  IfaceAssignment promoted = coupled;
+  for (auto& [inst, iface] : promoted) {
+    analysis::AddressInfo addr = scev.addressOf(inst);
+    if (addr.valid && addr.base->name() == "z") iface.promoted = true;
+  }
+  unsigned recPromoted = scheduler.recMII(mem.carriedDeps(inner), promoted);
+  EXPECT_EQ(recPromoted,
+            tech.latencyCycles(ir::Opcode::FAdd, ir::Type::f64(), kClock));
+}
+
+TEST(SchedulerTest, PipelinedCyclesFormula) {
+  EXPECT_EQ(Scheduler::pipelinedCycles(1, 10, 3), 10u);
+  EXPECT_EQ(Scheduler::pipelinedCycles(100, 10, 1), 109u);
+  EXPECT_EQ(Scheduler::pipelinedCycles(100, 10, 3), 10u + 99u * 3u);
+  EXPECT_EQ(Scheduler::pipelinedCycles(0, 10, 3), 0u);
+}
+
+TEST(SchedulerTest, EmptyBlockHasUnitLatency) {
+  ir::Module m("empty");
+  ir::Function* f = m.addFunction("f", ir::Type::voidTy(), {});
+  ir::BasicBlock* entry = f->addBlock("entry");
+  ir::IRBuilder b(&m);
+  b.setInsertPoint(entry);
+  b.ret();
+  TechLibrary tech = TechLibrary::nangate45();
+  Scheduler scheduler(tech, InterfaceTiming{}, kClock);
+  BlockSchedule sched = scheduler.scheduleBlock(*entry, {});
+  EXPECT_EQ(sched.latency, 1u);
+  EXPECT_EQ(sched.numOps, 0u);
+}
+
+class ClockSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClockSweepTest, LatencyMonotoneInClockPeriod) {
+  // Property: a slower clock never increases an op's cycle latency.
+  TechLibrary tech = TechLibrary::nangate45();
+  double clock = GetParam();
+  for (ir::Opcode op : {ir::Opcode::Add, ir::Opcode::Mul, ir::Opcode::FAdd,
+                        ir::Opcode::FMul, ir::Opcode::FDiv, ir::Opcode::FSqrt,
+                        ir::Opcode::SDiv}) {
+    EXPECT_LE(tech.latencyCycles(op, ir::Type::f64(), clock * 2.0),
+              tech.latencyCycles(op, ir::Type::f64(), clock))
+        << opcodeSpelling(op);
+    EXPECT_GE(tech.latencyCycles(op, ir::Type::f64(), clock), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clocks, ClockSweepTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0));
+
+class UnrollSweepTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(UnrollSweepTest, AreaScalesLinearlyLatencyMonotone) {
+  unsigned unroll = GetParam();
+  auto module = testing::linearKernel();
+  const ir::BasicBlock* body =
+      module->entryFunction()->blockByName("i.body");
+  TechLibrary tech = TechLibrary::nangate45();
+  Scheduler scheduler(tech, InterfaceTiming{}, kClock);
+  IfaceAssignment coupled = assignAll(*body, IfaceKind::Coupled);
+  BlockSchedule base = scheduler.scheduleBlock(*body, coupled, 1);
+  BlockSchedule wide = scheduler.scheduleBlock(*body, coupled, unroll);
+  EXPECT_DOUBLE_EQ(wide.opAreaUm2, unroll * base.opAreaUm2);
+  EXPECT_GE(wide.latency, base.latency);
+  // Port serialization grows with width.
+  if (unroll > 1) {
+    EXPECT_GT(wide.latency, base.latency);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Unrolls, UnrollSweepTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+}  // namespace
+}  // namespace cayman::hls

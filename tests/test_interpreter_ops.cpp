@@ -1,0 +1,204 @@
+// Table-driven semantics tests: every arithmetic / comparison / conversion
+// opcode is executed through a one-instruction function and checked against
+// the host's reference arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/builder.h"
+#include "sim/interpreter.h"
+
+namespace cayman::sim {
+namespace {
+
+/// Runs `op(a, b)` on i64 operands through the interpreter.
+int64_t evalI64(ir::Opcode op, int64_t a, int64_t b) {
+  ir::Module m("op");
+  ir::Function* f = m.addFunction(
+      "f", ir::Type::i64(), {{ir::Type::i64(), "a"}, {ir::Type::i64(), "b"}});
+  ir::BasicBlock* entry = f->addBlock("entry");
+  auto inst = std::make_unique<ir::Instruction>(
+      op, ir::Type::i64(),
+      std::vector<ir::Value*>{f->argument(0), f->argument(1)}, "r");
+  ir::Instruction* raw = entry->append(std::move(inst));
+  ir::IRBuilder builder(&m);
+  builder.setInsertPoint(entry);
+  builder.ret(raw);
+  Interpreter interp(m);
+  int64_t args[] = {a, b};
+  return interp.runFunction(*f, args).returnValue->i;
+}
+
+/// Runs `fop(a, b)` on f64 operands (passed via globals to keep precision).
+double evalF64(ir::Opcode op, double a, double b, bool unary = false) {
+  ir::Module m("fop");
+  auto* in = m.addGlobal("in", ir::Type::f64(), 2);
+  in->setInit({a, b});
+  auto* out = m.addGlobal("out", ir::Type::f64(), 1);
+  ir::Function* f = m.addFunction("main", ir::Type::voidTy(), {});
+  ir::BasicBlock* entry = f->addBlock("entry");
+  ir::IRBuilder builder(&m);
+  builder.setInsertPoint(entry);
+  ir::Value* va =
+      builder.load(ir::Type::f64(), builder.gep(in, builder.i64(0),
+                                                ir::Type::f64()));
+  ir::Value* vb =
+      builder.load(ir::Type::f64(), builder.gep(in, builder.i64(1),
+                                                ir::Type::f64()));
+  std::vector<ir::Value*> operands{va};
+  if (!unary) operands.push_back(vb);
+  auto inst = std::make_unique<ir::Instruction>(op, ir::Type::f64(),
+                                                operands, "r");
+  ir::Instruction* raw = entry->append(std::move(inst));
+  builder.store(raw, builder.gep(out, builder.i64(0), ir::Type::f64()));
+  builder.ret();
+  Interpreter interp(m);
+  interp.run();
+  return interp.memory().readElemF64(out, 0);
+}
+
+struct IntCase {
+  ir::Opcode op;
+  int64_t a, b, expected;
+};
+
+class IntOpTest : public ::testing::TestWithParam<IntCase> {};
+
+TEST_P(IntOpTest, MatchesReference) {
+  const IntCase& c = GetParam();
+  EXPECT_EQ(evalI64(c.op, c.a, c.b), c.expected)
+      << ir::opcodeSpelling(c.op) << "(" << c.a << ", " << c.b << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, IntOpTest,
+    ::testing::Values(
+        IntCase{ir::Opcode::Add, 40, 2, 42},
+        IntCase{ir::Opcode::Add, -5, 3, -2},
+        IntCase{ir::Opcode::Sub, 10, 25, -15},
+        IntCase{ir::Opcode::Mul, -6, 7, -42},
+        IntCase{ir::Opcode::SDiv, 42, 5, 8},
+        IntCase{ir::Opcode::SDiv, -42, 5, -8},
+        IntCase{ir::Opcode::SDiv, 42, 0, 0},  // guarded: no trap
+        IntCase{ir::Opcode::SRem, 42, 5, 2},
+        IntCase{ir::Opcode::SRem, 7, 0, 0},
+        IntCase{ir::Opcode::And, 0b1100, 0b1010, 0b1000},
+        IntCase{ir::Opcode::Or, 0b1100, 0b1010, 0b1110},
+        IntCase{ir::Opcode::Xor, 0b1100, 0b1010, 0b0110},
+        IntCase{ir::Opcode::Shl, 3, 4, 48},
+        IntCase{ir::Opcode::AShr, -16, 2, -4},
+        IntCase{ir::Opcode::LShr, -1, 60, 15}));
+
+struct FloatCase {
+  ir::Opcode op;
+  double a, b, expected;
+  bool unary = false;
+};
+
+class FloatOpTest : public ::testing::TestWithParam<FloatCase> {};
+
+TEST_P(FloatOpTest, MatchesReference) {
+  const FloatCase& c = GetParam();
+  EXPECT_DOUBLE_EQ(evalF64(c.op, c.a, c.b, c.unary), c.expected)
+      << ir::opcodeSpelling(c.op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, FloatOpTest,
+    ::testing::Values(
+        FloatCase{ir::Opcode::FAdd, 1.5, 2.25, 3.75},
+        FloatCase{ir::Opcode::FSub, 1.0, 0.75, 0.25},
+        FloatCase{ir::Opcode::FMul, -2.0, 3.5, -7.0},
+        FloatCase{ir::Opcode::FDiv, 1.0, 4.0, 0.25},
+        FloatCase{ir::Opcode::FMin, 2.0, -3.0, -3.0},
+        FloatCase{ir::Opcode::FMax, 2.0, -3.0, 2.0},
+        FloatCase{ir::Opcode::FNeg, 2.5, 0.0, -2.5, true},
+        FloatCase{ir::Opcode::FAbs, -2.5, 0.0, 2.5, true},
+        FloatCase{ir::Opcode::FSqrt, 9.0, 0.0, 3.0, true}));
+
+TEST(CmpOpTest, IntegerPredicates) {
+  ir::Module m("cmp");
+  ir::Function* f = m.addFunction(
+      "f", ir::Type::i64(), {{ir::Type::i64(), "a"}, {ir::Type::i64(), "b"}});
+  ir::BasicBlock* entry = f->addBlock("entry");
+  ir::IRBuilder b(&m);
+  b.setInsertPoint(entry);
+  ir::Value* cmp = b.icmp(ir::CmpPred::LT, f->argument(0), f->argument(1));
+  b.ret(b.zext(cmp, ir::Type::i64()));
+  Interpreter interp(m);
+  {
+    int64_t args[] = {1, 2};
+    EXPECT_EQ(interp.runFunction(*f, args).returnValue->i, 1);
+  }
+  {
+    int64_t args[] = {2, 2};
+    EXPECT_EQ(interp.runFunction(*f, args).returnValue->i, 0);
+  }
+  {
+    int64_t args[] = {-5, 2};
+    EXPECT_EQ(interp.runFunction(*f, args).returnValue->i, 1);
+  }
+}
+
+TEST(ConversionTest, RoundTripsAndTruncation) {
+  ir::Module m("conv");
+  ir::Function* f =
+      m.addFunction("f", ir::Type::i64(), {{ir::Type::i64(), "a"}});
+  ir::BasicBlock* entry = f->addBlock("entry");
+  ir::IRBuilder b(&m);
+  b.setInsertPoint(entry);
+  // i64 -> f64 -> scaled -> i64.
+  ir::Value* asF = b.sitofp(f->argument(0), ir::Type::f64());
+  ir::Value* scaled = b.fmul(asF, b.f64(0.5));
+  b.ret(b.fptosi(scaled, ir::Type::i64()));
+  Interpreter interp(m);
+  int64_t args[] = {9};
+  EXPECT_EQ(interp.runFunction(*f, args).returnValue->i, 4);  // trunc toward 0
+}
+
+TEST(ConversionTest, TruncAndExtWrapCorrectly) {
+  ir::Module m("tw");
+  ir::Function* f =
+      m.addFunction("f", ir::Type::i64(), {{ir::Type::i64(), "a"}});
+  ir::BasicBlock* entry = f->addBlock("entry");
+  ir::IRBuilder b(&m);
+  b.setInsertPoint(entry);
+  ir::Value* narrow = b.trunc(f->argument(0), ir::Type::i32());
+  b.ret(b.sext(narrow, ir::Type::i64()));
+  Interpreter interp(m);
+  // 2^32 + 5 truncates to 5; -1 stays -1 (sign extension).
+  {
+    int64_t args[] = {(int64_t{1} << 32) + 5};
+    EXPECT_EQ(interp.runFunction(*f, args).returnValue->i, 5);
+  }
+  {
+    int64_t args[] = {-1};
+    EXPECT_EQ(interp.runFunction(*f, args).returnValue->i, -1);
+  }
+}
+
+TEST(SelectTest, PicksByCondition) {
+  EXPECT_EQ(evalI64(ir::Opcode::Add, 1, 1), 2);  // sanity
+  ir::Module m("sel");
+  ir::Function* f = m.addFunction(
+      "f", ir::Type::i64(), {{ir::Type::i64(), "a"}, {ir::Type::i64(), "b"}});
+  ir::BasicBlock* entry = f->addBlock("entry");
+  ir::IRBuilder b(&m);
+  b.setInsertPoint(entry);
+  ir::Value* bigger = b.select(
+      b.icmp(ir::CmpPred::GT, f->argument(0), f->argument(1)),
+      f->argument(0), f->argument(1), "max");
+  b.ret(bigger);
+  Interpreter interp(m);
+  {
+    int64_t args[] = {3, 8};
+    EXPECT_EQ(interp.runFunction(*f, args).returnValue->i, 8);
+  }
+  {
+    int64_t args[] = {9, -4};
+    EXPECT_EQ(interp.runFunction(*f, args).returnValue->i, 9);
+  }
+}
+
+}  // namespace
+}  // namespace cayman::sim

@@ -1,0 +1,129 @@
+// Tests for accelerator merging: pairwise saving estimation, the greedy
+// loop, reusable accelerator grouping, and end-to-end savings.
+#include <gtest/gtest.h>
+
+#include "accel/model.h"
+#include "merge/merger.h"
+#include "select/selector.h"
+#include "test_kernels.h"
+#include "workloads/workloads.h"
+
+namespace cayman::merge {
+namespace {
+
+using OpCounts = std::map<std::pair<ir::Opcode, bool>, unsigned>;
+
+TEST(PairSavingTest, SharedExpensiveOpsSave) {
+  hls::TechLibrary tech = hls::TechLibrary::nangate45();
+  AcceleratorMerger merger(tech);
+  OpCounts a{{{ir::Opcode::FMul, true}, 2}, {{ir::Opcode::FAdd, true}, 1}};
+  OpCounts b{{{ir::Opcode::FMul, true}, 1}, {{ir::Opcode::FAdd, true}, 2}};
+  double saving = merger.pairSaving(a, b);
+  // One shared FMul + one shared FAdd minus mux overhead: clearly positive.
+  EXPECT_GT(saving, 0.0);
+  EXPECT_LT(saving,
+            tech.opInfo(ir::Opcode::FMul, ir::Type::f64()).areaUm2 +
+                tech.opInfo(ir::Opcode::FAdd, ir::Type::f64()).areaUm2);
+}
+
+TEST(PairSavingTest, DisjointOpsSaveNothing) {
+  hls::TechLibrary tech = hls::TechLibrary::nangate45();
+  AcceleratorMerger merger(tech);
+  OpCounts a{{{ir::Opcode::FMul, true}, 2}};
+  OpCounts b{{{ir::Opcode::SDiv, true}, 1}};
+  EXPECT_DOUBLE_EQ(merger.pairSaving(a, b), 0.0);
+}
+
+TEST(PairSavingTest, CheapOpsNotWorthMuxes) {
+  hls::TechLibrary tech = hls::TechLibrary::nangate45();
+  AcceleratorMerger merger(tech);
+  // Sharing a single AND gate costs more mux area than it saves.
+  OpCounts a{{{ir::Opcode::And, true}, 1}};
+  OpCounts b{{{ir::Opcode::And, true}, 1}};
+  EXPECT_LT(merger.pairSaving(a, b), 0.0);
+}
+
+struct MergePipeline {
+  explicit MergePipeline(std::unique_ptr<ir::Module> m)
+      : module(std::move(m)),
+        wpst(*module),
+        interp(*module),
+        run(interp.run()),
+        profile(wpst, run, interp.costModel()),
+        tech(hls::TechLibrary::nangate45()),
+        model(wpst, profile, tech, hls::InterfaceTiming{}, {}) {}
+
+  select::Solution best(double budgetUm2) {
+    select::SelectorParams params;
+    params.areaBudgetUm2 = budgetUm2;
+    return select::CandidateSelector(model, params).best();
+  }
+
+  std::unique_ptr<ir::Module> module;
+  analysis::WPst wpst;
+  sim::Interpreter interp;
+  sim::Interpreter::Result run;
+  sim::ProfileData profile;
+  hls::TechLibrary tech;
+  accel::AcceleratorModel model;
+};
+
+TEST(MergerTest, IdenticalKernelsMergeHeavily) {
+  // 3mm has three identical matmul nests — the paper's showcase (74% / 70%
+  // saving). Expect a large saving and one reusable accelerator covering
+  // multiple kernels.
+  MergePipeline p(workloads::build("3mm"));
+  select::Solution best = p.best(5e5);
+  ASSERT_GE(best.accelerators.size(), 2u);
+  AcceleratorMerger merger(p.tech);
+  MergeResult result = merger.run(best);
+  EXPECT_GT(result.savingPercent(), 30.0);
+  EXPECT_GE(result.reusableAccelerators, 1);
+  EXPECT_GE(result.avgKernelsPerReusable, 2.0);
+  EXPECT_LT(result.areaAfterUm2, result.areaBeforeUm2);
+}
+
+TEST(MergerTest, SingleAcceleratorSavesLittle) {
+  // One hotspot (like doitgen in the paper, 5% saving): merging can only
+  // share within the single accelerator's own blocks.
+  MergePipeline p(testing::linearKernel());
+  select::Solution best = p.best(5e5);
+  AcceleratorMerger merger(p.tech);
+  MergeResult result = merger.run(best);
+  EXPECT_EQ(result.reusableAccelerators, 0);
+  EXPECT_LT(result.savingPercent(), 30.0);
+}
+
+TEST(MergerTest, EmptySolutionIsNoop) {
+  hls::TechLibrary tech = hls::TechLibrary::nangate45();
+  AcceleratorMerger merger(tech);
+  MergeResult result = merger.run(select::Solution{});
+  EXPECT_DOUBLE_EQ(result.areaBeforeUm2, 0.0);
+  EXPECT_DOUBLE_EQ(result.areaAfterUm2, 0.0);
+  EXPECT_EQ(result.mergeSteps, 0);
+  EXPECT_DOUBLE_EQ(result.savingPercent(), 0.0);
+}
+
+TEST(MergerTest, MergingNeverIncreasesArea) {
+  for (const char* name : {"3mm", "atax", "mvt", "jacobi-2d"}) {
+    MergePipeline p(workloads::build(name));
+    select::Solution best = p.best(5e5);
+    AcceleratorMerger merger(p.tech);
+    MergeResult result = merger.run(best);
+    EXPECT_LE(result.areaAfterUm2, result.areaBeforeUm2 + 1e-6) << name;
+    EXPECT_GE(result.areaAfterUm2, 0.0) << name;
+  }
+}
+
+TEST(MergerTest, DeterministicAcrossRuns) {
+  MergePipeline p(workloads::build("3mm"));
+  select::Solution best = p.best(5e5);
+  AcceleratorMerger merger(p.tech);
+  MergeResult first = merger.run(best);
+  MergeResult second = merger.run(best);
+  EXPECT_DOUBLE_EQ(first.areaAfterUm2, second.areaAfterUm2);
+  EXPECT_EQ(first.mergeSteps, second.mergeSteps);
+}
+
+}  // namespace
+}  // namespace cayman::merge

@@ -1,0 +1,89 @@
+// Property tests: for EVERY registered workload, the textual IR round-trips
+// (print -> parse -> print is a fixed point) and the reparsed module is
+// semantically identical (same interpreter results, same region structure).
+#include <gtest/gtest.h>
+
+#include "analysis/regions.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "sim/interpreter.h"
+#include "workloads/workloads.h"
+
+namespace cayman::ir {
+namespace {
+
+class RoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsFixedPoint) {
+  std::unique_ptr<Module> original = workloads::build(GetParam());
+  std::string once = printModule(*original);
+  std::unique_ptr<Module> reparsed = parseModule(once);
+  ASSERT_TRUE(verifyModule(*reparsed).empty());
+  EXPECT_EQ(once, printModule(*reparsed));
+}
+
+TEST_P(RoundTripTest, ReparsedModuleBehavesIdentically) {
+  std::unique_ptr<Module> original = workloads::build(GetParam());
+  std::unique_ptr<Module> reparsed = parseModule(printModule(*original));
+
+  sim::Interpreter a(*original);
+  sim::Interpreter b(*reparsed);
+  sim::Interpreter::Result ra = a.run();
+  sim::Interpreter::Result rb = b.run();
+  EXPECT_DOUBLE_EQ(ra.totalCycles, rb.totalCycles);
+  EXPECT_EQ(ra.instructions, rb.instructions);
+
+  // Every global holds the same final contents.
+  for (size_t g = 0; g < original->globals().size(); ++g) {
+    const GlobalArray* ga = original->globals()[g].get();
+    const GlobalArray* gb = reparsed->globals()[g].get();
+    ASSERT_EQ(ga->name(), gb->name());
+    ASSERT_EQ(ga->numElems(), gb->numElems());
+    for (uint64_t i = 0; i < ga->numElems(); ++i) {
+      if (ga->elemType()->isFloat()) {
+        EXPECT_DOUBLE_EQ(a.memory().readElemF64(ga, i),
+                         b.memory().readElemF64(gb, i))
+            << ga->name() << "[" << i << "]";
+      } else {
+        EXPECT_EQ(a.memory().readElemI64(ga, i),
+                  b.memory().readElemI64(gb, i))
+            << ga->name() << "[" << i << "]";
+      }
+    }
+  }
+}
+
+TEST_P(RoundTripTest, ReparsedModuleHasSameRegionStructure) {
+  std::unique_ptr<Module> original = workloads::build(GetParam());
+  std::unique_ptr<Module> reparsed = parseModule(printModule(*original));
+  analysis::WPst wa(*original);
+  analysis::WPst wb(*reparsed);
+  ASSERT_EQ(wa.allRegions().size(), wb.allRegions().size());
+  for (size_t i = 0; i < wa.allRegions().size(); ++i) {
+    EXPECT_EQ(wa.allRegions()[i]->kind(), wb.allRegions()[i]->kind());
+    EXPECT_EQ(wa.allRegions()[i]->blocks().size(),
+              wb.allRegions()[i]->blocks().size());
+    EXPECT_EQ(wa.allRegions()[i]->isCandidate(),
+              wb.allRegions()[i]->isCandidate());
+  }
+}
+
+std::vector<std::string> names() {
+  std::vector<std::string> result;
+  for (const auto& info : workloads::all()) result.push_back(info.name);
+  return result;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, RoundTripTest, ::testing::ValuesIn(names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace cayman::ir

@@ -1,0 +1,226 @@
+// Edge-case tests for the SESE region builder and wPST: nested conditionals,
+// if-inside-loop-inside-if shapes, multi-function applications, if-regions
+// without else arms, and loops whose bounds are runtime values.
+#include <gtest/gtest.h>
+
+#include "analysis/regions.h"
+#include "analysis/scev.h"
+#include "ir/verifier.h"
+#include "workloads/kernel_builder.h"
+
+namespace cayman::analysis {
+namespace {
+
+using workloads::KernelBuilder;
+
+int countKind(const WPst& wpst, RegionKind kind) {
+  int count = 0;
+  wpst.root()->walk([&](const Region& r) {
+    if (r.kind() == kind) ++count;
+  });
+  return count;
+}
+
+TEST(RegionEdgeTest, NestedIfDiamonds) {
+  auto module = std::make_unique<ir::Module>("nested-if");
+  auto* data = module->addGlobal("data", ir::Type::i64(), 16);
+  auto* out = module->addGlobal("out", ir::Type::i64(), 16);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 16, "i");
+  ir::Value* v = kb.loadAt(data, i);
+  ir::Value* big = kb.ir().icmp(ir::CmpPred::GT, v, kb.ir().i64(8));
+  kb.beginIf(big, /*withElse=*/true, "outer");
+  {
+    ir::Value* huge = kb.ir().icmp(ir::CmpPred::GT, v, kb.ir().i64(12));
+    kb.beginIf(huge, /*withElse=*/true, "inner");
+    kb.storeAt(out, i, kb.ir().i64(2));
+    kb.beginElse();
+    kb.storeAt(out, i, kb.ir().i64(1));
+    kb.endIf();
+  }
+  kb.beginElse();
+  kb.storeAt(out, i, kb.ir().i64(0));
+  kb.endIf();
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  WPst wpst(*module);
+  // Two if regions: inner nested inside outer.
+  EXPECT_EQ(countKind(wpst, RegionKind::If), 2);
+  const Region* inner = nullptr;
+  wpst.root()->walk([&](const Region& r) {
+    if (r.kind() == RegionKind::If && r.block()->name().find("outer.then") !=
+                                          std::string::npos) {
+      inner = &r;
+    }
+  });
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->parent()->kind(), RegionKind::If);
+}
+
+TEST(RegionEdgeTest, IfWithoutElseArm) {
+  auto module = std::make_unique<ir::Module>("if-no-else");
+  auto* out = module->addGlobal("out", ir::Type::i64(), 8);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 8, "i");
+  ir::Value* odd = kb.ir().icmp(
+      ir::CmpPred::EQ, kb.ir().srem(i, kb.ir().i64(2)), kb.ir().i64(1));
+  kb.beginIf(odd, /*withElse=*/false, "odd");
+  kb.storeAt(out, i, i);
+  kb.endIf();
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  WPst wpst(*module);
+  EXPECT_EQ(countKind(wpst, RegionKind::If), 1);
+}
+
+TEST(RegionEdgeTest, LoopInsideConditional) {
+  auto module = std::make_unique<ir::Module>("loop-in-if");
+  auto* out = module->addGlobal("out", ir::Type::f64(), 32);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main", ir::Type::voidTy(), {{ir::Type::i64(), "mode"}});
+  ir::Function* f = module->functionByName("main");
+  ir::Value* wantIt =
+      kb.ir().icmp(ir::CmpPred::GT, f->argument(0), kb.ir().i64(0));
+  kb.beginIf(wantIt, /*withElse=*/false, "gate");
+  ir::Value* i = kb.beginLoop(0, 32, "work");
+  kb.storeAt(out, i, kb.ir().f64(1.0));
+  kb.endLoop();
+  kb.endIf();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  WPst wpst(*module);
+  EXPECT_EQ(countKind(wpst, RegionKind::If), 1);
+  EXPECT_EQ(countKind(wpst, RegionKind::Loop), 1);
+  // The loop region must nest inside the if region.
+  const FunctionAnalyses& fa = wpst.analyses(f);
+  const Region* loopRegion = wpst.loopRegion(fa.loops.topLevelLoops()[0]);
+  ASSERT_NE(loopRegion, nullptr);
+  EXPECT_EQ(loopRegion->parent()->kind(), RegionKind::If);
+}
+
+TEST(RegionEdgeTest, MultiFunctionApplication) {
+  auto module = std::make_unique<ir::Module>("multi");
+  auto* buf = module->addGlobal("buf", ir::Type::f64(), 64);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("helper1");
+  {
+    ir::Value* i = kb.beginLoop(0, 64, "h1");
+    kb.storeAt(buf, i, kb.ir().f64(1.0));
+    kb.endLoop();
+  }
+  kb.endFunction();
+  kb.beginFunction("helper2");
+  {
+    ir::Value* i = kb.beginLoop(0, 64, "h2");
+    kb.storeAt(buf, i, kb.ir().fmul(kb.loadAt(buf, i), kb.ir().f64(2.0)));
+    kb.endLoop();
+  }
+  kb.endFunction();
+  kb.beginFunction("main");
+  kb.ir().call(module->functionByName("helper1"), {});
+  kb.ir().call(module->functionByName("helper2"), {});
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  WPst wpst(*module);
+  EXPECT_EQ(wpst.root()->children().size(), 3u);
+  EXPECT_EQ(countKind(wpst, RegionKind::Function), 3);
+  EXPECT_EQ(countKind(wpst, RegionKind::Loop), 2);
+  // main's entry bb contains calls -> not a candidate; helpers' loops are.
+  const ir::Function* main = module->functionByName("main");
+  EXPECT_FALSE(wpst.bbRegion(main->entry())->isCandidate());
+  const ir::Function* h1 = module->functionByName("helper1");
+  const FunctionAnalyses& fa = wpst.analyses(h1);
+  EXPECT_TRUE(wpst.loopRegion(fa.loops.topLevelLoops()[0])->isCandidate());
+}
+
+TEST(RegionEdgeTest, RuntimeBoundLoopStillForms) {
+  auto module = std::make_unique<ir::Module>("runtime-bound");
+  auto* out = module->addGlobal("out", ir::Type::i64(), 128);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main", ir::Type::voidTy(), {{ir::Type::i64(), "n"}});
+  ir::Function* f = module->functionByName("main");
+  ir::Value* i = kb.beginLoop(kb.ir().i64(0), f->argument(0), "i");
+  kb.storeAt(out, kb.ir().and_(i, kb.ir().i64(127)), i);
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  WPst wpst(*module);
+  EXPECT_EQ(countKind(wpst, RegionKind::Loop), 1);
+  // No static trip count available.
+  const FunctionAnalyses& fa = wpst.analyses(f);
+  ScalarEvolution scev(*f, fa);
+  EXPECT_FALSE(scev.tripCount(fa.loops.topLevelLoops()[0]).known);
+}
+
+TEST(RegionEdgeTest, TriangularLoopNest) {
+  // for i; for j < i: the inner bound is the outer IV.
+  auto module = std::make_unique<ir::Module>("triangular");
+  auto* out = module->addGlobal("out", ir::Type::f64(), 32 * 32);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 32, "i");
+  ir::Value* j = kb.beginLoop(kb.ir().i64(0), i, "j");
+  kb.storeAt(out, kb.idx2(i, j, 32), kb.ir().f64(1.0));
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  WPst wpst(*module);
+  EXPECT_EQ(countKind(wpst, RegionKind::Loop), 2);
+  const ir::Function* f = module->entryFunction();
+  const FunctionAnalyses& fa = wpst.analyses(f);
+  const Loop* outer = fa.loops.topLevelLoops()[0];
+  ASSERT_EQ(outer->subLoops().size(), 1u);
+  // Outer trip static; inner is not (bound is the IV).
+  ScalarEvolution scev(*f, fa);
+  EXPECT_TRUE(scev.tripCount(outer).known);
+  EXPECT_FALSE(scev.tripCount(outer->subLoops()[0]).known);
+}
+
+TEST(RegionEdgeTest, EmptyFunctionHasOnlyEntryBb) {
+  auto module = std::make_unique<ir::Module>("empty");
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+  WPst wpst(*module);
+  EXPECT_EQ(countKind(wpst, RegionKind::Bb), 1);
+  EXPECT_EQ(countKind(wpst, RegionKind::Loop), 0);
+  EXPECT_EQ(countKind(wpst, RegionKind::If), 0);
+}
+
+TEST(RegionEdgeTest, SequentialLoopsAreSiblings) {
+  auto module = std::make_unique<ir::Module>("sequence");
+  auto* out = module->addGlobal("out", ir::Type::f64(), 16);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  for (int k = 0; k < 3; ++k) {
+    ir::Value* i = kb.beginLoop(0, 16, "l" + std::to_string(k));
+    kb.storeAt(out, i, kb.ir().f64(k));
+    kb.endLoop();
+  }
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+  WPst wpst(*module);
+  std::vector<const Region*> loops;
+  wpst.root()->walk([&](const Region& r) {
+    if (r.kind() == RegionKind::Loop) loops.push_back(&r);
+  });
+  ASSERT_EQ(loops.size(), 3u);
+  EXPECT_EQ(loops[0]->parent(), loops[1]->parent());
+  EXPECT_EQ(loops[1]->parent(), loops[2]->parent());
+  EXPECT_EQ(loops[0]->parent()->kind(), RegionKind::Function);
+}
+
+}  // namespace
+}  // namespace cayman::analysis

@@ -1,0 +1,109 @@
+// Tests for the RTL backend: structural properties of the emitted Verilog.
+#include <gtest/gtest.h>
+
+#include "accel/rtl.h"
+#include "cayman/framework.h"
+#include "workloads/workloads.h"
+
+namespace cayman::accel {
+namespace {
+
+TEST(SanitizeTest, ProducesValidIdentifiers) {
+  EXPECT_EQ(sanitizeIdentifier("loop @main:mm1.k.header"),
+            "loop_main_mm1_k_header");
+  EXPECT_EQ(sanitizeIdentifier("123abc"), "u_123abc");
+  EXPECT_EQ(sanitizeIdentifier("a--b"), "a_b");
+  EXPECT_EQ(sanitizeIdentifier(""), "u_");
+}
+
+struct RtlFixture {
+  RtlFixture() : fw(workloads::build("3mm")) {}
+
+  AcceleratorConfig firstConfig() {
+    select::Solution best = fw.best(0.25);
+    EXPECT_FALSE(best.empty());
+    return best.accelerators.front();
+  }
+
+  Framework fw;
+  hls::TechLibrary tech = hls::TechLibrary::nangate45();
+  hls::Scheduler scheduler{tech, hls::InterfaceTiming{}, 2.0};
+};
+
+TEST(RtlTest, EmitsWellFormedModuleSkeleton) {
+  RtlFixture fx;
+  AcceleratorConfig config = fx.firstConfig();
+  std::string rtl = emitAcceleratorRtl(config, fx.scheduler);
+  // Module skeleton.
+  EXPECT_NE(rtl.find("module accel_"), std::string::npos);
+  EXPECT_NE(rtl.find("endmodule"), std::string::npos);
+  EXPECT_NE(rtl.find("input  wire        clk"), std::string::npos);
+  EXPECT_NE(rtl.find("input  wire        start"), std::string::npos);
+  EXPECT_NE(rtl.find("output reg         done"), std::string::npos);
+  // FSM.
+  EXPECT_NE(rtl.find("S_IDLE"), std::string::npos);
+  EXPECT_NE(rtl.find("S_DONE"), std::string::npos);
+  EXPECT_NE(rtl.find("always @(posedge clk or negedge rst_n)"),
+            std::string::npos);
+}
+
+TEST(RtlTest, InterfacePortsMatchAssignment) {
+  RtlFixture fx;
+  AcceleratorConfig config = fx.firstConfig();
+  std::string rtl = emitAcceleratorRtl(config, fx.scheduler);
+  if (config.numDecoupled > 0) {
+    EXPECT_NE(rtl.find("stream0_"), std::string::npos);
+  }
+  if (config.numScratchpad > 0) {
+    EXPECT_NE(rtl.find("sp_"), std::string::npos);
+  }
+  if (config.numCoupled > 0) {
+    EXPECT_NE(rtl.find("mem_req"), std::string::npos);
+  }
+}
+
+TEST(RtlTest, CustomModuleName) {
+  RtlFixture fx;
+  RtlOptions options;
+  options.moduleName = "my_accel";
+  std::string rtl = emitAcceleratorRtl(fx.firstConfig(), fx.scheduler,
+                                       options);
+  EXPECT_NE(rtl.find("module my_accel ("), std::string::npos);
+}
+
+TEST(RtlTest, DeterministicOutput) {
+  RtlFixture fx;
+  AcceleratorConfig config = fx.firstConfig();
+  EXPECT_EQ(emitAcceleratorRtl(config, fx.scheduler),
+            emitAcceleratorRtl(config, fx.scheduler));
+}
+
+TEST(RtlTest, EveryWorkloadsBestKernelEmits) {
+  // Smoke: the emitter handles every opcode mix the suite produces.
+  for (const char* name : {"atax", "nw", "cjpeg", "zip-test", "md"}) {
+    Framework fw(workloads::build(name));
+    select::Solution best = fw.best(0.25);
+    if (best.empty()) continue;
+    hls::TechLibrary tech = hls::TechLibrary::nangate45();
+    hls::Scheduler scheduler(tech, hls::InterfaceTiming{}, 2.0);
+    for (const AcceleratorConfig& config : best.accelerators) {
+      std::string rtl = emitAcceleratorRtl(config, scheduler);
+      EXPECT_NE(rtl.find("endmodule"), std::string::npos) << name;
+      // Balanced begin/end within the case arms.
+      size_t begins = 0, ends = 0, pos = 0;
+      while ((pos = rtl.find("begin", pos)) != std::string::npos) {
+        ++begins;
+        pos += 5;
+      }
+      pos = 0;
+      while ((pos = rtl.find("end", pos)) != std::string::npos) {
+        ++ends;  // counts endcase/endmodule too
+        pos += 3;
+      }
+      EXPECT_GE(ends, begins) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cayman::accel

@@ -1,0 +1,259 @@
+// Tests for candidate selection: Pareto fronts, the α-filter, the ⊗
+// combine, and Algorithm 1's DP over the wPST.
+#include <gtest/gtest.h>
+
+#include "select/selector.h"
+#include "test_kernels.h"
+
+namespace cayman::select {
+namespace {
+
+constexpr double kRatio = 2.0;
+
+Solution makeSolution(double area, double cpuCycles, double accelCycles) {
+  Solution s;
+  accel::AcceleratorConfig config;
+  config.areaUm2 = area;
+  config.cpuCycles = cpuCycles;
+  config.cycles = accelCycles;
+  s.accelerators.push_back(config);
+  s.areaUm2 = area;
+  s.cpuCycles = cpuCycles;
+  s.accelCycles = accelCycles;
+  return s;
+}
+
+TEST(SolutionTest, SpeedupMatchesEquationOne) {
+  Solution s = makeSolution(100.0, 800.0, 100.0);
+  // T_all=1000, T_cand=800, Cycle_cand/F in CPU cycles = 200.
+  // Speedup = 1000 / (1000 - 800 + 200) = 2.5.
+  EXPECT_DOUBLE_EQ(s.speedup(1000.0, kRatio), 2.5);
+  EXPECT_DOUBLE_EQ(s.savedCycles(kRatio), 600.0);
+  // Empty solution: no change.
+  EXPECT_DOUBLE_EQ(Solution{}.speedup(1000.0, kRatio), 1.0);
+}
+
+TEST(SolutionTest, MergeAccumulates) {
+  Solution a = makeSolution(10.0, 100.0, 20.0);
+  Solution b = makeSolution(5.0, 50.0, 10.0);
+  Solution m = Solution::merge(a, b);
+  EXPECT_DOUBLE_EQ(m.areaUm2, 15.0);
+  EXPECT_DOUBLE_EQ(m.cpuCycles, 150.0);
+  EXPECT_DOUBLE_EQ(m.accelCycles, 30.0);
+  EXPECT_EQ(m.accelerators.size(), 2u);
+}
+
+TEST(ParetoTest, DominatedSolutionsDropped) {
+  std::vector<Solution> input;
+  input.push_back(Solution{});                       // (0, 0)
+  input.push_back(makeSolution(10, 100, 10));        // saved 80
+  input.push_back(makeSolution(20, 100, 30));        // saved 40, dominated
+  input.push_back(makeSolution(30, 300, 50));        // saved 200
+  std::vector<Solution> front = pareto(input, kRatio);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_TRUE(front[0].empty());
+  EXPECT_DOUBLE_EQ(front[1].areaUm2, 10.0);
+  EXPECT_DOUBLE_EQ(front[2].areaUm2, 30.0);
+}
+
+TEST(ParetoTest, NegativeGainSolutionsDropped) {
+  std::vector<Solution> input;
+  input.push_back(Solution{});
+  input.push_back(makeSolution(10, 100, 200));  // accelerator slower than CPU
+  std::vector<Solution> front = pareto(input, kRatio);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_TRUE(front[0].empty());
+}
+
+TEST(ParetoTest, AreaTiesKeepBest) {
+  std::vector<Solution> input;
+  input.push_back(Solution{});
+  input.push_back(makeSolution(10, 100, 40));  // saved 20
+  input.push_back(makeSolution(10, 100, 10));  // saved 80 — same area, better
+  std::vector<Solution> front = pareto(input, kRatio);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_DOUBLE_EQ(front[1].savedCycles(kRatio), 80.0);
+}
+
+TEST(FilterTest, EnforcesAlphaSpacing) {
+  // Areas 0, 10, 11, 12, 30, 100 with increasing saved cycles.
+  std::vector<Solution> front;
+  front.push_back(Solution{});
+  double saved = 10.0;
+  for (double area : {10.0, 11.0, 12.0, 30.0, 100.0}) {
+    front.push_back(makeSolution(area, saved * 3, saved));
+    saved *= 2.0;
+  }
+  std::vector<Solution> filtered = filterByAlpha(front, 1.5);
+  // 0 kept; 10 kept (first after empty since 10 > 1.5*max(0,1)); 11,12
+  // dropped (within 1.5x of 10); 30 kept; 100 kept (last always kept).
+  ASSERT_EQ(filtered.size(), 4u);
+  EXPECT_DOUBLE_EQ(filtered[1].areaUm2, 10.0);
+  EXPECT_DOUBLE_EQ(filtered[2].areaUm2, 30.0);
+  EXPECT_DOUBLE_EQ(filtered[3].areaUm2, 100.0);
+}
+
+TEST(FilterTest, KeepsEndpointsAlways) {
+  std::vector<Solution> front;
+  front.push_back(Solution{});
+  front.push_back(makeSolution(1.0, 10, 1));
+  front.push_back(makeSolution(1.01, 20, 1));
+  std::vector<Solution> filtered = filterByAlpha(front, 4.0);
+  ASSERT_GE(filtered.size(), 2u);
+  EXPECT_TRUE(filtered.front().empty());
+  EXPECT_DOUBLE_EQ(filtered.back().areaUm2, 1.01);
+}
+
+TEST(FilterTest, AlphaOneIsIdentity) {
+  std::vector<Solution> front;
+  front.push_back(Solution{});
+  front.push_back(makeSolution(1.0, 10, 1));
+  front.push_back(makeSolution(1.5, 20, 1));
+  EXPECT_EQ(filterByAlpha(front, 1.0).size(), front.size());
+}
+
+TEST(CombineTest, CrossProductsRespectBudget) {
+  std::vector<Solution> a{Solution{}, makeSolution(60, 500, 50)};
+  std::vector<Solution> b{Solution{}, makeSolution(70, 600, 60)};
+  // Budget 100: the 60+70 union exceeds it.
+  std::vector<Solution> combined = combine(a, b, 100.0, kRatio);
+  for (const Solution& s : combined) {
+    EXPECT_LE(s.areaUm2, 100.0);
+  }
+  // Both singles survive: they are mutually non-dominated.
+  ASSERT_EQ(combined.size(), 3u);
+  // Budget 200: the union appears and dominates nothing out.
+  combined = combine(a, b, 200.0, kRatio);
+  ASSERT_EQ(combined.size(), 4u);
+  EXPECT_DOUBLE_EQ(combined.back().areaUm2, 130.0);
+  EXPECT_EQ(combined.back().accelerators.size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 1 end-to-end over real kernels.
+// --------------------------------------------------------------------------
+
+struct SelectPipeline {
+  explicit SelectPipeline(std::unique_ptr<ir::Module> m,
+                          double budgetUm2 = 5e5)
+      : module(std::move(m)),
+        wpst(*module),
+        interp(*module),
+        run(interp.run()),
+        profile(wpst, run, interp.costModel()),
+        tech(hls::TechLibrary::nangate45()),
+        model(wpst, profile, tech, hls::InterfaceTiming{}, {}) {
+    params.areaBudgetUm2 = budgetUm2;
+  }
+
+  std::unique_ptr<ir::Module> module;
+  analysis::WPst wpst;
+  sim::Interpreter interp;
+  sim::Interpreter::Result run;
+  sim::ProfileData profile;
+  hls::TechLibrary tech;
+  accel::AcceleratorModel model;
+  SelectorParams params;
+};
+
+TEST(SelectorTest, FrontIsMonotone) {
+  SelectPipeline p(testing::dotRowsKernel(24, 12));
+  CandidateSelector selector(p.model, p.params);
+  std::vector<Solution> front = selector.select();
+  ASSERT_GE(front.size(), 2u);
+  for (size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].areaUm2, front[i - 1].areaUm2);
+    EXPECT_GT(front[i].savedCycles(p.params.clockRatio),
+              front[i - 1].savedCycles(p.params.clockRatio));
+  }
+}
+
+TEST(SelectorTest, SelectionsNeverOverlap) {
+  SelectPipeline p(testing::dotRowsKernel(24, 12));
+  CandidateSelector selector(p.model, p.params);
+  for (const Solution& s : selector.select()) {
+    // No accelerator's region may be an ancestor of another's.
+    for (const auto& a : s.accelerators) {
+      for (const auto& b : s.accelerators) {
+        if (&a == &b) continue;
+        for (const analysis::Region* up = b.region->parent(); up != nullptr;
+             up = up->parent()) {
+          EXPECT_NE(up, a.region)
+              << "selected region nested inside another selection";
+        }
+      }
+    }
+  }
+}
+
+TEST(SelectorTest, BudgetIsRespected) {
+  SelectPipeline tight(testing::dotRowsKernel(24, 12), 3e4);
+  CandidateSelector selector(tight.model, tight.params);
+  for (const Solution& s : selector.select()) {
+    EXPECT_LE(s.areaUm2, tight.params.areaBudgetUm2);
+  }
+}
+
+TEST(SelectorTest, LargerBudgetNeverWorse) {
+  SelectPipeline p(testing::dotRowsKernel(24, 12));
+  SelectorParams small = p.params;
+  small.areaBudgetUm2 = 5e4;
+  SelectorParams large = p.params;
+  large.areaBudgetUm2 = 1e6;
+  double savedSmall =
+      CandidateSelector(p.model, small).best().savedCycles(2.0);
+  double savedLarge =
+      CandidateSelector(p.model, large).best().savedCycles(2.0);
+  EXPECT_GE(savedLarge, savedSmall);
+}
+
+TEST(SelectorTest, PruningSkipsColdRegions) {
+  SelectPipeline p(testing::dotRowsKernel(24, 12));
+  SelectorParams aggressive = p.params;
+  aggressive.pruneHotFraction = 0.2;
+  CandidateSelector pruned(p.model, aggressive);
+  pruned.select();
+  SelectorParams lax = p.params;
+  lax.pruneHotFraction = 0.0;
+  CandidateSelector unpruned(p.model, lax);
+  unpruned.select();
+  EXPECT_GT(pruned.stats().regionsPruned, 0);
+  EXPECT_LT(pruned.stats().configsGenerated,
+            unpruned.stats().configsGenerated);
+}
+
+TEST(SelectorTest, BestPicksMaximumSaving) {
+  SelectPipeline p(testing::dotRowsKernel(24, 12));
+  CandidateSelector selector(p.model, p.params);
+  std::vector<Solution> front = selector.select();
+  Solution best = selector.best();
+  for (const Solution& s : front) {
+    EXPECT_GE(best.savedCycles(p.params.clockRatio),
+              s.savedCycles(p.params.clockRatio));
+  }
+}
+
+class AlphaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweepTest, LargerAlphaNeverEnlargesFrontOrBeatsBest) {
+  SelectPipeline p(testing::dotRowsKernel(24, 12));
+  SelectorParams fine = p.params;
+  fine.alpha = GetParam();
+  SelectorParams coarse = p.params;
+  coarse.alpha = GetParam() * 1.5;
+  CandidateSelector fineSel(p.model, fine);
+  CandidateSelector coarseSel(p.model, coarse);
+  std::vector<Solution> fineFront = fineSel.select();
+  std::vector<Solution> coarseFront = coarseSel.select();
+  EXPECT_GE(fineFront.size(), coarseFront.size());
+  // The filter trades solution density for runtime; the best solution of a
+  // coarser filter cannot beat the finer one's.
+  EXPECT_GE(fineSel.best().savedCycles(2.0) + 1e-9,
+            coarseSel.best().savedCycles(2.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweepTest,
+                         ::testing::Values(1.02, 1.05, 1.12, 1.3, 1.6));
+
+}  // namespace
+}  // namespace cayman::select

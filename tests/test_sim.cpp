@@ -1,0 +1,293 @@
+// Tests for the simulation substrate: memory layout, interpreter semantics,
+// cycle accounting, and region profiling.
+#include <gtest/gtest.h>
+
+#include "ir/verifier.h"
+#include "sim/profiler.h"
+#include "workloads/kernel_builder.h"
+
+namespace cayman::sim {
+namespace {
+
+using workloads::KernelBuilder;
+
+TEST(SimMemoryTest, LayoutIsAlignedAndDisjoint) {
+  ir::Module m("mem");
+  auto* a = m.addGlobal("a", ir::Type::f64(), 10);
+  auto* b = m.addGlobal("b", ir::Type::i32(), 7);
+  SimMemory memory(m);
+  uint64_t baseA = memory.baseOf(a);
+  uint64_t baseB = memory.baseOf(b);
+  EXPECT_EQ(baseA % 64, 0u);
+  EXPECT_EQ(baseB % 64, 0u);
+  EXPECT_GE(baseB, baseA + a->sizeBytes());
+}
+
+TEST(SimMemoryTest, ExplicitInitializersApplied) {
+  ir::Module m("mem");
+  auto* a = m.addGlobal("a", ir::Type::f64(), 4);
+  a->setInit({1.0, 2.0, 3.0, 4.0});
+  auto* idx = m.addGlobal("idx", ir::Type::i64(), 3);
+  idx->setInit({2, 0, 1});
+  SimMemory memory(m);
+  EXPECT_DOUBLE_EQ(memory.readElemF64(a, 0), 1.0);
+  EXPECT_DOUBLE_EQ(memory.readElemF64(a, 3), 4.0);
+  EXPECT_EQ(memory.readElemI64(idx, 0), 2);
+  EXPECT_EQ(memory.readElemI64(idx, 2), 1);
+}
+
+TEST(SimMemoryTest, DefaultFillIsDeterministicAndBounded) {
+  ir::Module m("mem");
+  auto* f = m.addGlobal("f", ir::Type::f64(), 100);
+  auto* n = m.addGlobal("n", ir::Type::i64(), 100);
+  SimMemory first(m);
+  SimMemory second(m);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(first.readElemF64(f, i), second.readElemF64(f, i));
+    EXPECT_GE(first.readElemF64(f, i), 0.0);
+    EXPECT_LT(first.readElemF64(f, i), 1.0);
+    // Default integers are valid indices into their own array.
+    EXPECT_GE(first.readElemI64(n, i), 0);
+    EXPECT_LT(first.readElemI64(n, i), 100);
+  }
+}
+
+TEST(SimMemoryTest, OutOfBoundsAccessThrows) {
+  ir::Module m("mem");
+  m.addGlobal("a", ir::Type::f64(), 4);
+  SimMemory memory(m);
+  EXPECT_THROW(memory.loadInt(0x0, ir::Type::i64()), Error);
+  EXPECT_THROW(memory.loadInt(0x1000 + (1 << 20), ir::Type::i64()), Error);
+}
+
+/// Builds and runs y[i] = 2*x[i] + 1 and checks the results numerically.
+TEST(InterpreterTest, LinearKernelComputesCorrectValues) {
+  auto module = std::make_unique<ir::Module>("linear");
+  auto* x = module->addGlobal("x", ir::Type::f64(), 16);
+  auto* y = module->addGlobal("y", ir::Type::f64(), 16);
+  std::vector<double> xs(16);
+  for (int i = 0; i < 16; ++i) xs[static_cast<size_t>(i)] = i * 0.5;
+  x->setInit(xs);
+
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 16, "i");
+  ir::Value* xi = kb.loadAt(x, i);
+  ir::Value* v = kb.ir().fadd(kb.ir().fmul(xi, kb.ir().f64(2.0)),
+                              kb.ir().f64(1.0));
+  kb.storeAt(y, i, v);
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  Interpreter interp(*module);
+  Interpreter::Result result = interp.run();
+  for (uint64_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(interp.memory().readElemF64(y, i),
+                     2.0 * (static_cast<double>(i) * 0.5) + 1.0);
+  }
+  EXPECT_GT(result.totalCycles, 0.0);
+  EXPECT_GT(result.instructions, 16u * 5u);
+}
+
+TEST(InterpreterTest, BlockCountsMatchTripCounts) {
+  auto module = std::make_unique<ir::Module>("counts");
+  auto* out = module->addGlobal("out", ir::Type::i64(), 8);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 8, "i");
+  ir::Value* j = kb.beginLoop(0, 4, "j");
+  kb.storeAt(out, i, j);
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  Interpreter interp(*module);
+  Interpreter::Result result = interp.run();
+  const ir::Function* f = module->entryFunction();
+  EXPECT_EQ(result.countOf(f->blockByName("i.header")), 9u);
+  EXPECT_EQ(result.countOf(f->blockByName("i.body")), 8u);
+  EXPECT_EQ(result.countOf(f->blockByName("j.header")), 8u * 5u);
+  EXPECT_EQ(result.countOf(f->blockByName("j.body")), 32u);
+  EXPECT_EQ(result.countOf(f->blockByName("j.latch")), 32u);
+  EXPECT_EQ(result.countOf(f->blockByName("i.exit")), 1u);
+}
+
+TEST(InterpreterTest, ConditionalsTakeTheRightArm) {
+  auto module = std::make_unique<ir::Module>("cond");
+  auto* v = module->addGlobal("v", ir::Type::i64(), 8);
+  auto* out = module->addGlobal("out", ir::Type::i64(), 8);
+  v->setInit({-3, 5, -1, 0, 7, -9, 2, -4});
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 8, "i");
+  ir::Value* value = kb.loadAt(v, i);
+  ir::Value* isNeg = kb.ir().icmp(ir::CmpPred::LT, value, kb.ir().i64(0));
+  kb.beginIf(isNeg, /*withElse=*/true);
+  kb.storeAt(out, i, kb.ir().sub(kb.ir().i64(0), value));
+  kb.beginElse();
+  kb.storeAt(out, i, value);
+  kb.endIf();
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  Interpreter interp(*module);
+  interp.run();
+  const int64_t expected[] = {3, 5, 1, 0, 7, 9, 2, 4};
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(interp.memory().readElemI64(out, i), expected[i]);
+  }
+}
+
+TEST(InterpreterTest, CallsAndReturnValues) {
+  auto module = std::make_unique<ir::Module>("calls");
+  KernelBuilder kb(module.get());
+  ir::Function* sq = kb.beginFunction("square", ir::Type::i64(),
+                                      {{ir::Type::i64(), "v"}});
+  ir::Value* squared = kb.ir().mul(sq->argument(0), sq->argument(0));
+  kb.endFunction(squared);
+
+  kb.beginFunction("main", ir::Type::i64(), {{ir::Type::i64(), "n"}});
+  ir::Function* main = module->functionByName("main");
+  ir::Value* result = kb.ir().call(sq, {main->argument(0)}, "sq");
+  kb.endFunction(result);
+  ir::verifyOrThrow(*module);
+
+  Interpreter interp(*module);
+  int64_t args[] = {9};
+  Interpreter::Result run = interp.run(args);
+  ASSERT_TRUE(run.returnValue.has_value());
+  EXPECT_EQ(run.returnValue->i, 81);
+}
+
+TEST(InterpreterTest, ReductionAccumulates) {
+  auto module = std::make_unique<ir::Module>("reduce");
+  auto* x = module->addGlobal("x", ir::Type::f64(), 32);
+  auto* out = module->addGlobal("out", ir::Type::f64(), 1);
+  std::vector<double> xs(32, 0.25);
+  x->setInit(xs);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 32, "i");
+  ir::Instruction* acc =
+      kb.reduction(ir::Type::f64(), kb.ir().f64(0.0), "acc");
+  ir::Value* sum = kb.ir().fadd(acc, kb.loadAt(x, i), "acc.next");
+  kb.setReductionNext(acc, sum);
+  kb.endLoop();
+  kb.storeAt(out, kb.ir().i64(0), kb.reductionResult(acc));
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  Interpreter interp(*module);
+  interp.run();
+  EXPECT_DOUBLE_EQ(interp.memory().readElemF64(out, 0), 8.0);
+}
+
+TEST(InterpreterTest, InstructionLimitGuardsRunaways) {
+  auto module = std::make_unique<ir::Module>("spin");
+  auto* out = module->addGlobal("out", ir::Type::i64(), 1);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 1'000'000, "i");
+  kb.storeAt(out, kb.ir().i64(0), i);
+  kb.endLoop();
+  kb.endFunction();
+
+  Interpreter interp(*module);
+  interp.setInstructionLimit(1000);
+  EXPECT_THROW(interp.run(), Error);
+}
+
+TEST(CpuModelTest, RelativeCostsAreSane) {
+  CpuCostModel model = CpuCostModel::cva6();
+  ir::Module m("cost");
+  ir::Function* f = m.addFunction("f", ir::Type::voidTy(),
+                                  {{ir::Type::f64(), "a"}});
+  ir::BasicBlock* entry = f->addBlock("entry");
+  ir::IRBuilder b(&m);
+  b.setInsertPoint(entry);
+  auto* fdiv = ir::dynCast<ir::Instruction>(b.fdiv(f->argument(0),
+                                                   f->argument(0)));
+  auto* faddInst = ir::dynCast<ir::Instruction>(b.fadd(f->argument(0),
+                                                       f->argument(0)));
+  b.ret();
+  EXPECT_GT(model.cost(*fdiv), model.cost(*faddInst));
+  EXPECT_GT(model.blockCost(*entry), 0.0);
+}
+
+TEST(ProfilerTest, RegionCyclesAndEntries) {
+  auto module = std::make_unique<ir::Module>("prof");
+  auto* x = module->addGlobal("x", ir::Type::f64(), 64);
+  auto* y = module->addGlobal("y", ir::Type::f64(), 64);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 64, "i");
+  kb.storeAt(y, i, kb.ir().fmul(kb.loadAt(x, i), kb.ir().f64(3.0)));
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  analysis::WPst wpst(*module);
+  Interpreter interp(*module);
+  Interpreter::Result run = interp.run();
+  ProfileData profile(wpst, run, interp.costModel());
+
+  EXPECT_DOUBLE_EQ(profile.totalCycles(), run.totalCycles);
+
+  const ir::Function* f = module->entryFunction();
+  const analysis::FunctionAnalyses& fa = wpst.analyses(f);
+  const analysis::Loop* loop = fa.loops.topLevelLoops()[0];
+  const analysis::Region* loopRegion = wpst.loopRegion(loop);
+  ASSERT_NE(loopRegion, nullptr);
+
+  EXPECT_EQ(profile.entries(loopRegion), 1u);
+  EXPECT_NEAR(profile.avgTripCount(loop), 64.0, 1e-9);
+  // The loop dominates the program's runtime.
+  EXPECT_GT(profile.hotFraction(loopRegion), 0.9);
+  // Region cycles are the sum of contained block cycles.
+  double sum = 0.0;
+  for (const ir::BasicBlock* block : loopRegion->blocks()) {
+    sum += profile.blockCycles(block);
+  }
+  EXPECT_DOUBLE_EQ(profile.cycles(loopRegion), sum);
+  // The function region covers everything.
+  const analysis::Region* funcRegion = wpst.root()->children()[0].get();
+  EXPECT_NEAR(profile.cycles(funcRegion), profile.totalCycles(), 1e-9);
+}
+
+TEST(ProfilerTest, CalleeTimeStaysInCallee) {
+  auto module = std::make_unique<ir::Module>("callee");
+  auto* out = module->addGlobal("out", ir::Type::f64(), 1);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("work");
+  ir::Value* i = kb.beginLoop(0, 100, "i");
+  kb.storeAt(out, kb.ir().i64(0), kb.ir().sitofp(i, ir::Type::f64()));
+  kb.endLoop();
+  kb.endFunction();
+
+  kb.beginFunction("main");
+  kb.ir().call(module->functionByName("work"), {});
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  analysis::WPst wpst(*module);
+  Interpreter interp(*module);
+  Interpreter::Result run = interp.run();
+  ProfileData profile(wpst, run, interp.costModel());
+
+  const analysis::Region* workRegion = nullptr;
+  const analysis::Region* mainRegion = nullptr;
+  for (const auto& child : wpst.root()->children()) {
+    if (child->function()->name() == "work") workRegion = child.get();
+    if (child->function()->name() == "main") mainRegion = child.get();
+  }
+  ASSERT_NE(workRegion, nullptr);
+  ASSERT_NE(mainRegion, nullptr);
+  EXPECT_GT(profile.cycles(workRegion), profile.cycles(mainRegion));
+  EXPECT_EQ(profile.entries(workRegion), 1u);
+}
+
+}  // namespace
+}  // namespace cayman::sim

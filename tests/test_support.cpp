@@ -1,0 +1,57 @@
+// Tests for the support utilities.
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace cayman {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto pieces = split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("xyz", ',').size(), 1u);
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nvalue\r "), "value");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("solid"), "solid");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("module \"x\"", "module"));
+  EXPECT_FALSE(startsWith("mod", "module"));
+  EXPECT_TRUE(startsWith("anything", ""));
+}
+
+TEST(StringsTest, FormatFixed) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+TEST(ErrorTest, AssertMacroThrowsWithContext) {
+  try {
+    CAYMAN_ASSERT(1 == 2, "math broke");
+    FAIL() << "assert did not throw";
+  } catch (const Error& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, PassingAssertIsSilent) {
+  EXPECT_NO_THROW(CAYMAN_ASSERT(2 + 2 == 4, "fine"));
+}
+
+}  // namespace
+}  // namespace cayman

@@ -1,0 +1,143 @@
+// cayman-cli: command-line driver for the framework.
+//
+//   cayman_cli list                          list built-in workloads
+//   cayman_cli ir <workload>                 print a workload's textual IR
+//   cayman_cli wpst <workload>               print its profiled wPST
+//   cayman_cli explore <workload> [budget]   print the Pareto frontier
+//   cayman_cli evaluate <workload> [budget]  full evaluation vs baselines
+//   cayman_cli run <file.cir> [budget]       evaluate IR parsed from a file
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cayman/framework.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "workloads/workloads.h"
+
+using namespace cayman;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cayman_cli <command> [args]\n"
+               "  list                         list built-in workloads\n"
+               "  ir <workload>                print textual IR\n"
+               "  wpst <workload>              print the profiled wPST\n"
+               "  explore <workload> [budget]  print the Pareto frontier\n"
+               "  evaluate <workload> [budget] evaluate vs baselines\n"
+               "  run <file.cir> [budget]      evaluate IR from a file\n");
+  return 2;
+}
+
+int cmdList() {
+  std::printf("%-22s %-14s %s\n", "name", "suite", "note");
+  for (const auto& info : workloads::all()) {
+    std::printf("%-22s %-14s %s\n", info.name.c_str(), info.suite.c_str(),
+                info.note.empty() ? "faithful port" : info.note.c_str());
+  }
+  return 0;
+}
+
+int cmdIr(const std::string& name) {
+  std::unique_ptr<ir::Module> module = workloads::build(name);
+  std::fputs(ir::printModule(*module).c_str(), stdout);
+  return 0;
+}
+
+void printTree(const Framework& fw, const analysis::Region& region,
+               int depth) {
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  std::printf("%s%-44s entries=%-8llu hot=%5.1f%%%s\n", indent.c_str(),
+              region.label().c_str(),
+              static_cast<unsigned long long>(fw.profile().entries(&region)),
+              100.0 * fw.profile().hotFraction(&region),
+              region.isCandidate() ? "" : "  [not selectable]");
+  for (const auto& child : region.children()) {
+    printTree(fw, *child, depth + 1);
+  }
+}
+
+int cmdWpst(const std::string& name) {
+  Framework fw(workloads::build(name));
+  std::printf("wPST of %s (T_all = %.0f CPU cycles)\n", name.c_str(),
+              fw.totalCpuCycles());
+  printTree(fw, *fw.wpst().root(), 0);
+  return 0;
+}
+
+int evaluateModule(std::unique_ptr<ir::Module> module, double budget) {
+  Framework fw(std::move(module));
+  EvaluationReport report = fw.evaluate(budget);
+  std::printf("T_all:               %.0f CPU cycles\n", fw.totalCpuCycles());
+  std::printf("budget:              %.0f%% of a CVA6 tile\n", budget * 100);
+  std::printf("kernels selected:    %zu\n",
+              report.solution.accelerators.size());
+  std::printf("area used:           %.1f%% of tile\n",
+              100.0 * report.solution.areaUm2 / fw.tech().cva6TileAreaUm2);
+  std::printf("#SB / #PR:           %u / %u\n", report.numSeqBlocks,
+              report.numPipelinedRegions);
+  std::printf("#C / #D / #S:        %u / %u / %u\n", report.numCoupled,
+              report.numDecoupled, report.numScratchpad);
+  std::printf("Cayman speedup:      %.2fx (Eq. 1)\n", report.caymanSpeedup);
+  std::printf("NOVIA baseline:      %.2fx  -> Cayman %.1fx better\n",
+              report.noviaSpeedup, report.overNovia);
+  std::printf("QsCores baseline:    %.2fx  -> Cayman %.1fx better\n",
+              report.qscoresSpeedup, report.overQsCores);
+  std::printf("merging area saving: %.1f%% (%d reusable accelerator(s))\n",
+              report.areaSavingPercent, report.merging.reusableAccelerators);
+  std::printf("selection time:      %.3fs\n", report.selectionSeconds);
+  return 0;
+}
+
+int cmdExplore(const std::string& name, double budget) {
+  Framework fw(workloads::build(name));
+  std::printf("Pareto frontier of %s under %.0f%% budget:\n", name.c_str(),
+              budget * 100);
+  std::printf("%12s %12s %10s %8s\n", "area(um2)", "area(%tile)", "speedup",
+              "kernels");
+  for (const auto& solution : fw.explore(budget)) {
+    std::printf("%12.0f %12.2f %10.2f %8zu\n", solution.areaUm2,
+                100.0 * solution.areaUm2 / fw.tech().cva6TileAreaUm2,
+                fw.speedupOf(solution), solution.accelerators.size());
+  }
+  return 0;
+}
+
+int cmdRun(const std::string& path, double budget) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return evaluateModule(ir::parseModule(text.str()), budget);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string command = argv[1];
+  try {
+    if (command == "list") return cmdList();
+    if (argc < 3) return usage();
+    std::string target = argv[2];
+    double budget = argc > 3 ? std::atof(argv[3]) : 0.25;
+    if (command == "ir") return cmdIr(target);
+    if (command == "wpst") return cmdWpst(target);
+    if (command == "explore") return cmdExplore(target, budget);
+    if (command == "evaluate") {
+      return evaluateModule(workloads::build(target), budget);
+    }
+    if (command == "run") return cmdRun(target, budget);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
