@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_filter.cpp" "bench/CMakeFiles/bench_ablation_filter.dir/bench_ablation_filter.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_filter.dir/bench_ablation_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cayman/CMakeFiles/cayman_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cayman_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/merge/CMakeFiles/cayman_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cayman_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/cayman_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/cayman_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/cayman_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cayman_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cayman_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cayman_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cayman_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_study.dir/merge_study.cpp.o"
+  "CMakeFiles/merge_study.dir/merge_study.cpp.o.d"
+  "merge_study"
+  "merge_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

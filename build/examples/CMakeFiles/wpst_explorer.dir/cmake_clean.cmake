@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpst_explorer.dir/wpst_explorer.cpp.o"
+  "CMakeFiles/wpst_explorer.dir/wpst_explorer.cpp.o.d"
+  "wpst_explorer"
+  "wpst_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpst_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

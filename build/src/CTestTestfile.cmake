@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("analysis")
+subdirs("workloads")
+subdirs("sim")
+subdirs("hls")
+subdirs("accel")
+subdirs("select")
+subdirs("merge")
+subdirs("baselines")
+subdirs("cayman")

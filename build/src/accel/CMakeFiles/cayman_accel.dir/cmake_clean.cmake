@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_accel.dir/energy.cpp.o"
+  "CMakeFiles/cayman_accel.dir/energy.cpp.o.d"
+  "CMakeFiles/cayman_accel.dir/model.cpp.o"
+  "CMakeFiles/cayman_accel.dir/model.cpp.o.d"
+  "CMakeFiles/cayman_accel.dir/rtl.cpp.o"
+  "CMakeFiles/cayman_accel.dir/rtl.cpp.o.d"
+  "libcayman_accel.a"
+  "libcayman_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcayman_accel.a"
+)

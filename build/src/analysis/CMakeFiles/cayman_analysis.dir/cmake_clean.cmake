@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/cayman_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/cayman_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/cayman_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/cayman_analysis.dir/loops.cpp.o"
+  "CMakeFiles/cayman_analysis.dir/loops.cpp.o.d"
+  "CMakeFiles/cayman_analysis.dir/memdep.cpp.o"
+  "CMakeFiles/cayman_analysis.dir/memdep.cpp.o.d"
+  "CMakeFiles/cayman_analysis.dir/regions.cpp.o"
+  "CMakeFiles/cayman_analysis.dir/regions.cpp.o.d"
+  "CMakeFiles/cayman_analysis.dir/scev.cpp.o"
+  "CMakeFiles/cayman_analysis.dir/scev.cpp.o.d"
+  "libcayman_analysis.a"
+  "libcayman_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

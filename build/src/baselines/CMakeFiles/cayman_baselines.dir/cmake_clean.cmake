@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_baselines.dir/novia.cpp.o"
+  "CMakeFiles/cayman_baselines.dir/novia.cpp.o.d"
+  "CMakeFiles/cayman_baselines.dir/qscores.cpp.o"
+  "CMakeFiles/cayman_baselines.dir/qscores.cpp.o.d"
+  "libcayman_baselines.a"
+  "libcayman_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_framework.dir/framework.cpp.o"
+  "CMakeFiles/cayman_framework.dir/framework.cpp.o.d"
+  "libcayman_framework.a"
+  "libcayman_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

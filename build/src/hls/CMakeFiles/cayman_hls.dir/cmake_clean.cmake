@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_hls.dir/scheduler.cpp.o"
+  "CMakeFiles/cayman_hls.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cayman_hls.dir/tech_library.cpp.o"
+  "CMakeFiles/cayman_hls.dir/tech_library.cpp.o.d"
+  "libcayman_hls.a"
+  "libcayman_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

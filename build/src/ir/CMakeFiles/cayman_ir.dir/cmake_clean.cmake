@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_ir.dir/basic_block.cpp.o"
+  "CMakeFiles/cayman_ir.dir/basic_block.cpp.o.d"
+  "CMakeFiles/cayman_ir.dir/builder.cpp.o"
+  "CMakeFiles/cayman_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/cayman_ir.dir/function.cpp.o"
+  "CMakeFiles/cayman_ir.dir/function.cpp.o.d"
+  "CMakeFiles/cayman_ir.dir/instruction.cpp.o"
+  "CMakeFiles/cayman_ir.dir/instruction.cpp.o.d"
+  "CMakeFiles/cayman_ir.dir/module.cpp.o"
+  "CMakeFiles/cayman_ir.dir/module.cpp.o.d"
+  "CMakeFiles/cayman_ir.dir/parser.cpp.o"
+  "CMakeFiles/cayman_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/cayman_ir.dir/printer.cpp.o"
+  "CMakeFiles/cayman_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/cayman_ir.dir/type.cpp.o"
+  "CMakeFiles/cayman_ir.dir/type.cpp.o.d"
+  "CMakeFiles/cayman_ir.dir/value.cpp.o"
+  "CMakeFiles/cayman_ir.dir/value.cpp.o.d"
+  "CMakeFiles/cayman_ir.dir/verifier.cpp.o"
+  "CMakeFiles/cayman_ir.dir/verifier.cpp.o.d"
+  "libcayman_ir.a"
+  "libcayman_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_merge.dir/merger.cpp.o"
+  "CMakeFiles/cayman_merge.dir/merger.cpp.o.d"
+  "libcayman_merge.a"
+  "libcayman_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_select.dir/pareto.cpp.o"
+  "CMakeFiles/cayman_select.dir/pareto.cpp.o.d"
+  "CMakeFiles/cayman_select.dir/selector.cpp.o"
+  "CMakeFiles/cayman_select.dir/selector.cpp.o.d"
+  "libcayman_select.a"
+  "libcayman_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu_model.cpp" "src/sim/CMakeFiles/cayman_sim.dir/cpu_model.cpp.o" "gcc" "src/sim/CMakeFiles/cayman_sim.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/sim/interpreter.cpp" "src/sim/CMakeFiles/cayman_sim.dir/interpreter.cpp.o" "gcc" "src/sim/CMakeFiles/cayman_sim.dir/interpreter.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/cayman_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/cayman_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/profiler.cpp" "src/sim/CMakeFiles/cayman_sim.dir/profiler.cpp.o" "gcc" "src/sim/CMakeFiles/cayman_sim.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cayman_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cayman_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cayman_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_sim.dir/cpu_model.cpp.o"
+  "CMakeFiles/cayman_sim.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/cayman_sim.dir/interpreter.cpp.o"
+  "CMakeFiles/cayman_sim.dir/interpreter.cpp.o.d"
+  "CMakeFiles/cayman_sim.dir/memory.cpp.o"
+  "CMakeFiles/cayman_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/cayman_sim.dir/profiler.cpp.o"
+  "CMakeFiles/cayman_sim.dir/profiler.cpp.o.d"
+  "libcayman_sim.a"
+  "libcayman_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

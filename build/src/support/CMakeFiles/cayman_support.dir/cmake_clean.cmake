@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_support.dir/error.cpp.o"
+  "CMakeFiles/cayman_support.dir/error.cpp.o.d"
+  "CMakeFiles/cayman_support.dir/strings.cpp.o"
+  "CMakeFiles/cayman_support.dir/strings.cpp.o.d"
+  "libcayman_support.a"
+  "libcayman_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/coremark.cpp" "src/workloads/CMakeFiles/cayman_workloads.dir/coremark.cpp.o" "gcc" "src/workloads/CMakeFiles/cayman_workloads.dir/coremark.cpp.o.d"
+  "/root/repo/src/workloads/kernel_builder.cpp" "src/workloads/CMakeFiles/cayman_workloads.dir/kernel_builder.cpp.o" "gcc" "src/workloads/CMakeFiles/cayman_workloads.dir/kernel_builder.cpp.o.d"
+  "/root/repo/src/workloads/machsuite.cpp" "src/workloads/CMakeFiles/cayman_workloads.dir/machsuite.cpp.o" "gcc" "src/workloads/CMakeFiles/cayman_workloads.dir/machsuite.cpp.o.d"
+  "/root/repo/src/workloads/mediabench.cpp" "src/workloads/CMakeFiles/cayman_workloads.dir/mediabench.cpp.o" "gcc" "src/workloads/CMakeFiles/cayman_workloads.dir/mediabench.cpp.o.d"
+  "/root/repo/src/workloads/polybench.cpp" "src/workloads/CMakeFiles/cayman_workloads.dir/polybench.cpp.o" "gcc" "src/workloads/CMakeFiles/cayman_workloads.dir/polybench.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/cayman_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/cayman_workloads.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cayman_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cayman_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_workloads.dir/coremark.cpp.o"
+  "CMakeFiles/cayman_workloads.dir/coremark.cpp.o.d"
+  "CMakeFiles/cayman_workloads.dir/kernel_builder.cpp.o"
+  "CMakeFiles/cayman_workloads.dir/kernel_builder.cpp.o.d"
+  "CMakeFiles/cayman_workloads.dir/machsuite.cpp.o"
+  "CMakeFiles/cayman_workloads.dir/machsuite.cpp.o.d"
+  "CMakeFiles/cayman_workloads.dir/mediabench.cpp.o"
+  "CMakeFiles/cayman_workloads.dir/mediabench.cpp.o.d"
+  "CMakeFiles/cayman_workloads.dir/polybench.cpp.o"
+  "CMakeFiles/cayman_workloads.dir/polybench.cpp.o.d"
+  "CMakeFiles/cayman_workloads.dir/registry.cpp.o"
+  "CMakeFiles/cayman_workloads.dir/registry.cpp.o.d"
+  "libcayman_workloads.a"
+  "libcayman_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

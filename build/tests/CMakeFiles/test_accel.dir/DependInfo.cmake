@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accel.cpp" "tests/CMakeFiles/test_accel.dir/test_accel.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/test_accel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cayman_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cayman_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/cayman_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cayman_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/cayman_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cayman_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cayman_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

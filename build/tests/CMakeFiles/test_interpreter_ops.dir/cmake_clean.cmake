@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpreter_ops.dir/test_interpreter_ops.cpp.o"
+  "CMakeFiles/test_interpreter_ops.dir/test_interpreter_ops.cpp.o.d"
+  "test_interpreter_ops"
+  "test_interpreter_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpreter_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

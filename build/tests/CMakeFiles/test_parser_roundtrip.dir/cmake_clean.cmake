@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser_roundtrip.dir/test_parser_roundtrip.cpp.o"
+  "CMakeFiles/test_parser_roundtrip.dir/test_parser_roundtrip.cpp.o.d"
+  "test_parser_roundtrip"
+  "test_parser_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

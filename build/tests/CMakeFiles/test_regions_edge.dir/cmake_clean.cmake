@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regions_edge.dir/test_regions_edge.cpp.o"
+  "CMakeFiles/test_regions_edge.dir/test_regions_edge.cpp.o.d"
+  "test_regions_edge"
+  "test_regions_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regions_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

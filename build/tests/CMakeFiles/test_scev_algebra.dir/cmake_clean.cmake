@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scev_algebra.dir/test_scev_algebra.cpp.o"
+  "CMakeFiles/test_scev_algebra.dir/test_scev_algebra.cpp.o.d"
+  "test_scev_algebra"
+  "test_scev_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scev_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayman_cli.dir/cayman_cli.cpp.o"
+  "CMakeFiles/cayman_cli.dir/cayman_cli.cpp.o.d"
+  "cayman_cli"
+  "cayman_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayman_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
