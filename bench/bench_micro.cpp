@@ -10,19 +10,57 @@ namespace {
 
 using namespace cayman;
 
+// Decoded engine (the default): pre-decoded micro-op stream, hash-free hot
+// loop. The insts/s counter accumulates across iterations so the rate is the
+// true dynamic-instruction throughput.
 void BM_InterpreterRun(benchmark::State& state) {
   auto module = workloads::build("atax");
   sim::Interpreter interp(*module);
   uint64_t instructions = 0;
   for (auto _ : state) {
     sim::Interpreter::Result result = interp.run();
-    instructions = result.instructions;
+    instructions += result.instructions;
     benchmark::DoNotOptimize(result.totalCycles);
   }
   state.counters["insts/s"] = benchmark::Counter(
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_InterpreterRun);
+
+// Tree-walking reference engine, kept for before/after comparison and as the
+// golden-equivalence oracle.
+void BM_InterpreterRunReference(benchmark::State& state) {
+  auto module = workloads::build("atax");
+  sim::Interpreter interp(*module, sim::CpuCostModel::cva6(),
+                          sim::Interpreter::ExecMode::Reference);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::Interpreter::Result result = interp.run();
+    instructions += result.instructions;
+    benchmark::DoNotOptimize(result.totalCycles);
+  }
+  state.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterRunReference);
+
+// One-time decode cost (amortized over every subsequent run): lowers all
+// functions of the workload to micro-op streams from scratch each iteration.
+void BM_InterpreterDecode(benchmark::State& state) {
+  auto module = workloads::build("cjpeg");
+  sim::Interpreter interp(*module);
+  sim::Interpreter::DecodeStats stats;
+  uint64_t decodedUops = 0;
+  for (auto _ : state) {
+    stats = interp.predecodeAll(/*force=*/true);
+    decodedUops += stats.microOps;
+    benchmark::DoNotOptimize(stats.microOps);
+  }
+  state.counters["uops"] = static_cast<double>(stats.microOps);
+  state.counters["uops/s"] = benchmark::Counter(
+      static_cast<double>(decodedUops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterDecode);
 
 void BM_WPstConstruction(benchmark::State& state) {
   auto module = workloads::build("cjpeg");

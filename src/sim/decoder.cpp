@@ -1,0 +1,355 @@
+#include "sim/decoder.h"
+
+#include <bit>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "support/error.h"
+
+namespace cayman::sim {
+
+using ir::Opcode;
+
+namespace {
+
+/// Builder state for one decode() invocation.
+struct DecodeCtx {
+  DecodedFunction df;
+  std::unordered_map<const ir::Value*, uint32_t> valueSlot;
+  // Constants interned by bit pattern (covers int, fp, and global bases).
+  std::map<std::pair<int64_t, int64_t>, uint32_t> constSlot;
+  std::unordered_map<const ir::BasicBlock*, uint32_t> blockId;
+  std::vector<uint32_t> blockEntryPc;
+  // Jump/CondJump fields to patch with a block's entry pc once known.
+  struct Fixup {
+    size_t opIndex;
+    int field;  // 1 = b, 2 = c
+    uint32_t targetBlock;
+  };
+  std::vector<Fixup> fixups;
+  // CondJump edges that need a phi parallel-copy trampoline.
+  struct Trampoline {
+    size_t opIndex;
+    int field;
+    const ir::BasicBlock* pred;
+    const ir::BasicBlock* succ;
+  };
+  std::vector<Trampoline> trampolines;
+};
+
+MicroOpcode computeOpcodeFor(const ir::Instruction& inst) {
+  switch (inst.opcode()) {
+    case Opcode::Add: return MicroOpcode::Add;
+    case Opcode::Sub: return MicroOpcode::Sub;
+    case Opcode::Mul: return MicroOpcode::Mul;
+    case Opcode::SDiv: return MicroOpcode::SDiv;
+    case Opcode::SRem: return MicroOpcode::SRem;
+    case Opcode::And: return MicroOpcode::And;
+    case Opcode::Or: return MicroOpcode::Or;
+    case Opcode::Xor: return MicroOpcode::Xor;
+    case Opcode::Shl: return MicroOpcode::Shl;
+    case Opcode::AShr: return MicroOpcode::AShr;
+    case Opcode::LShr: return MicroOpcode::LShr;
+    case Opcode::FAdd: return MicroOpcode::FAdd;
+    case Opcode::FSub: return MicroOpcode::FSub;
+    case Opcode::FMul: return MicroOpcode::FMul;
+    case Opcode::FDiv: return MicroOpcode::FDiv;
+    case Opcode::FNeg: return MicroOpcode::FNeg;
+    case Opcode::FSqrt: return MicroOpcode::FSqrt;
+    case Opcode::FAbs: return MicroOpcode::FAbs;
+    case Opcode::FMin: return MicroOpcode::FMin;
+    case Opcode::FMax: return MicroOpcode::FMax;
+    case Opcode::ICmp: return MicroOpcode::ICmp;
+    case Opcode::FCmp: return MicroOpcode::FCmp;
+    case Opcode::Select: return MicroOpcode::SelectOp;
+    case Opcode::ZExt: return MicroOpcode::ZExt;
+    case Opcode::SExt: return MicroOpcode::MoveI;
+    case Opcode::Trunc: return MicroOpcode::Trunc;
+    case Opcode::SIToFP: return MicroOpcode::SIToFP;
+    case Opcode::FPToSI: return MicroOpcode::FPToSI;
+    case Opcode::Gep: return MicroOpcode::Gep;
+    default:
+      CAYMAN_ASSERT(false, "not a compute opcode");
+  }
+}
+
+MicroOpcode loadOpcodeFor(const ir::Type* type) {
+  switch (type->kind()) {
+    case ir::Type::Kind::I1: return MicroOpcode::LoadI1;
+    case ir::Type::Kind::I32: return MicroOpcode::LoadI32;
+    case ir::Type::Kind::I64:
+    case ir::Type::Kind::Ptr: return MicroOpcode::LoadI64;
+    case ir::Type::Kind::F32: return MicroOpcode::LoadF32;
+    case ir::Type::Kind::F64: return MicroOpcode::LoadF64;
+    default:
+      CAYMAN_ASSERT(false, "load of unsupported type");
+  }
+}
+
+MicroOpcode storeOpcodeFor(const ir::Type* type) {
+  switch (type->kind()) {
+    case ir::Type::Kind::I1: return MicroOpcode::StoreI1;
+    case ir::Type::Kind::I32: return MicroOpcode::StoreI32;
+    case ir::Type::Kind::I64:
+    case ir::Type::Kind::Ptr: return MicroOpcode::StoreI64;
+    case ir::Type::Kind::F32: return MicroOpcode::StoreF32;
+    case ir::Type::Kind::F64: return MicroOpcode::StoreF64;
+    default:
+      CAYMAN_ASSERT(false, "store of unsupported type");
+  }
+}
+
+}  // namespace
+
+DecodedFunction Decoder::decode(const ir::Function& function) const {
+  DecodeCtx ctx;
+  DecodedFunction& df = ctx.df;
+  df.source = &function;
+  df.returnsValue = !function.returnType()->isVoid();
+
+  // --- Slot assignment: arguments, then value-producing instructions. ------
+  df.numArgs = static_cast<uint32_t>(function.numArguments());
+  uint32_t nextSlot = 0;
+  for (const auto& arg : function.arguments()) {
+    ctx.valueSlot[arg.get()] = nextSlot++;
+  }
+  for (const auto& block : function.blocks()) {
+    for (const auto& inst : block->instructions()) {
+      if (!inst->type()->isVoid()) ctx.valueSlot[inst.get()] = nextSlot++;
+    }
+  }
+  df.constBase = nextSlot;
+
+  auto slotOf = [&](const ir::Value* value) -> uint32_t {
+    Slot constant;
+    switch (value->valueKind()) {
+      case ir::ValueKind::ConstantInt:
+        constant = {static_cast<const ir::ConstantInt*>(value)->value(), 0.0};
+        break;
+      case ir::ValueKind::ConstantFP:
+        constant = {0, static_cast<const ir::ConstantFP*>(value)->value()};
+        break;
+      case ir::ValueKind::GlobalArray:
+        constant = {static_cast<int64_t>(memory_.baseOf(
+                        static_cast<const ir::GlobalArray*>(value))),
+                    0.0};
+        break;
+      default: {
+        auto it = ctx.valueSlot.find(value);
+        CAYMAN_ASSERT(it != ctx.valueSlot.end(),
+                      "value not numbered in " + function.name());
+        return it->second;
+      }
+    }
+    auto key = std::make_pair(constant.i, std::bit_cast<int64_t>(constant.f));
+    auto [it, inserted] = ctx.constSlot.emplace(
+        key, df.constBase + static_cast<uint32_t>(df.constPool.size()));
+    if (inserted) df.constPool.push_back(constant);
+    return it->second;
+  };
+
+  // --- Dense block metadata. ------------------------------------------------
+  for (const auto& block : function.blocks()) {
+    ctx.blockId[block.get()] = static_cast<uint32_t>(df.blockOf.size());
+    df.blockOf.push_back(block.get());
+    df.blockCost.push_back(model_.blockCost(*block));
+    df.blockSize.push_back(static_cast<uint32_t>(block->size()));
+  }
+  ctx.blockEntryPc.assign(df.numBlocks(), 0);
+  CAYMAN_ASSERT(function.entry()->phis().empty(), "phi in entry block");
+
+  // Sequentializes the parallel copy set of edge pred->succ. Emitted copies
+  // never read a slot already written by an earlier copy of the sequence;
+  // cycles are broken through the scratch slot (set post-layout, see below).
+  constexpr uint32_t kScratch = UINT32_MAX;
+  auto emitEdgeCopies = [&](const ir::BasicBlock* pred,
+                            const ir::BasicBlock* succ) {
+    std::vector<std::pair<uint32_t, uint32_t>> pending;  // (dst, src)
+    for (const ir::Instruction* phi : succ->phis()) {
+      uint32_t dst = ctx.valueSlot.at(phi);
+      uint32_t src = slotOf(phi->incomingValueFor(pred));
+      if (dst != src) pending.emplace_back(dst, src);
+    }
+    auto emitCopy = [&](uint32_t dst, uint32_t src) {
+      MicroOp op;
+      op.op = MicroOpcode::Copy;
+      op.dst = dst;
+      op.a = src;
+      df.ops.push_back(op);
+    };
+    while (!pending.empty()) {
+      bool progressed = false;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        uint32_t dst = pending[i].first;
+        bool isSource = false;
+        for (size_t j = 0; j < pending.size(); ++j) {
+          if (j != i && pending[j].second == dst) { isSource = true; break; }
+        }
+        if (isSource) continue;
+        emitCopy(dst, pending[i].second);
+        pending.erase(pending.begin() + static_cast<long>(i));
+        progressed = true;
+        --i;
+      }
+      if (progressed || pending.empty()) continue;
+      // Every remaining destination is still needed as a source: a cycle.
+      // Park one destination in scratch and redirect its readers there.
+      uint32_t parked = pending.front().first;
+      emitCopy(kScratch, parked);
+      for (auto& copy : pending) {
+        if (copy.second == parked) copy.second = kScratch;
+      }
+    }
+  };
+
+  // --- Emit blocks in layout order. -----------------------------------------
+  for (const auto& blockPtr : function.blocks()) {
+    const ir::BasicBlock* block = blockPtr.get();
+    uint32_t id = ctx.blockId.at(block);
+    ctx.blockEntryPc[id] = static_cast<uint32_t>(df.ops.size());
+    {
+      MicroOp head;
+      head.op = MicroOpcode::BlockHead;
+      head.b = id;
+      df.ops.push_back(head);
+    }
+    CAYMAN_ASSERT(block->hasTerminator(),
+                  "block " + block->name() + " lacks a terminator");
+    for (const auto& instPtr : block->instructions()) {
+      const ir::Instruction* inst = instPtr.get();
+      switch (inst->opcode()) {
+        case Opcode::Phi:
+          continue;  // materialized on incoming edges
+        case Opcode::Br: {
+          const ir::BasicBlock* succ = inst->successors()[0];
+          emitEdgeCopies(block, succ);
+          MicroOp op;
+          op.op = MicroOpcode::Jump;
+          ctx.fixups.push_back({df.ops.size(), 1, ctx.blockId.at(succ)});
+          df.ops.push_back(op);
+          break;
+        }
+        case Opcode::CondBr: {
+          MicroOp op;
+          op.op = MicroOpcode::CondJump;
+          op.a = slotOf(inst->operand(0));
+          size_t opIndex = df.ops.size();
+          df.ops.push_back(op);
+          const ir::BasicBlock* succs[2] = {inst->successors()[0],
+                                            inst->successors()[1]};
+          for (int field = 1; field <= 2; ++field) {
+            const ir::BasicBlock* succ = succs[field - 1];
+            if (succ->phis().empty()) {
+              ctx.fixups.push_back({opIndex, field, ctx.blockId.at(succ)});
+            } else {
+              ctx.trampolines.push_back({opIndex, field, block, succ});
+            }
+          }
+          break;
+        }
+        case Opcode::Ret: {
+          MicroOp op;
+          op.op = MicroOpcode::Ret;
+          if (inst->numOperands() == 1) {
+            op.aux = 1;
+            op.a = slotOf(inst->operand(0));
+          }
+          df.ops.push_back(op);
+          break;
+        }
+        case Opcode::Call: {
+          MicroOp op;
+          op.op = MicroOpcode::Call;
+          op.imm = static_cast<int64_t>(df.callees.size());
+          df.callees.push_back(inst->callee());
+          op.a = static_cast<uint32_t>(df.callArgSlots.size());
+          op.b = static_cast<uint32_t>(inst->numOperands());
+          for (const ir::Value* operand : inst->operands()) {
+            df.callArgSlots.push_back(slotOf(operand));
+          }
+          if (!inst->type()->isVoid()) {
+            op.aux = 1;
+            op.dst = ctx.valueSlot.at(inst);
+          }
+          df.ops.push_back(op);
+          break;
+        }
+        case Opcode::Load: {
+          MicroOp op;
+          op.op = loadOpcodeFor(inst->type());
+          op.dst = ctx.valueSlot.at(inst);
+          op.a = slotOf(inst->operand(0));
+          df.ops.push_back(op);
+          break;
+        }
+        case Opcode::Store: {
+          MicroOp op;
+          op.op = storeOpcodeFor(inst->operand(0)->type());
+          op.a = slotOf(inst->operand(0));
+          op.b = slotOf(inst->operand(1));
+          df.ops.push_back(op);
+          break;
+        }
+        default: {
+          MicroOp op;
+          op.op = computeOpcodeFor(*inst);
+          op.dst = ctx.valueSlot.at(inst);
+          op.a = slotOf(inst->operand(0));
+          if (inst->numOperands() > 1) op.b = slotOf(inst->operand(1));
+          if (inst->numOperands() > 2) op.c = slotOf(inst->operand(2));
+          switch (inst->opcode()) {
+            case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+            case Opcode::SDiv: case Opcode::SRem: case Opcode::Shl:
+            case Opcode::Trunc: case Opcode::FPToSI:
+              op.aux = static_cast<uint16_t>(inst->type()->kind());
+              break;
+            case Opcode::ZExt:
+              op.aux = static_cast<uint16_t>(inst->operand(0)->type()->kind());
+              break;
+            case Opcode::ICmp: case Opcode::FCmp:
+              op.aux = static_cast<uint16_t>(inst->cmpPred());
+              break;
+            case Opcode::Gep:
+              op.imm = static_cast<int64_t>(inst->gepElemSize());
+              break;
+            default:
+              break;
+          }
+          df.ops.push_back(op);
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Phi-edge trampolines for conditional branches. -----------------------
+  for (const DecodeCtx::Trampoline& tramp : ctx.trampolines) {
+    uint32_t pc = static_cast<uint32_t>(df.ops.size());
+    emitEdgeCopies(tramp.pred, tramp.succ);
+    MicroOp op;
+    op.op = MicroOpcode::Jump;
+    ctx.fixups.push_back({df.ops.size(), 1, ctx.blockId.at(tramp.succ)});
+    df.ops.push_back(op);
+    MicroOp& site = df.ops[tramp.opIndex];
+    (tramp.field == 1 ? site.b : site.c) = pc;
+  }
+
+  // --- Patch direct jump targets. -------------------------------------------
+  for (const DecodeCtx::Fixup& fixup : ctx.fixups) {
+    MicroOp& site = df.ops[fixup.opIndex];
+    (fixup.field == 1 ? site.b : site.c) = ctx.blockEntryPc[fixup.targetBlock];
+  }
+
+  // --- Final frame layout; rewrite parked scratch references. ---------------
+  df.scratchSlot = df.constBase + static_cast<uint32_t>(df.constPool.size());
+  df.frameSize = df.scratchSlot + 1;
+  for (MicroOp& op : df.ops) {
+    if (op.op != MicroOpcode::Copy) continue;
+    if (op.dst == kScratch) op.dst = df.scratchSlot;
+    if (op.a == kScratch) op.a = df.scratchSlot;
+  }
+  return df;
+}
+
+}  // namespace cayman::sim

@@ -1,0 +1,115 @@
+// Pre-decoding pass: lowers an ir::Function into a dense, directly-executable
+// micro-op stream so the interpreter's hot loop never touches a hash map.
+//
+// Decode-time resolution:
+//   - every SSA value gets a fixed frame-slot index (arguments first, then
+//     value-producing instructions);
+//   - constants and global-array base addresses are interned into a per-
+//     function constant pool whose slots are appended to the frame and
+//     copied in once per activation;
+//   - phi nodes disappear: each CFG edge into a block with phis becomes a
+//     sequentialized parallel-copy sequence (one scratch slot breaks cycles)
+//     followed by a jump, so block bodies are pure straight-line code;
+//   - blocks get dense IDs, making per-block execution counts and cycle
+//     costs plain array indexing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cpu_model.h"
+#include "sim/memory.h"
+
+namespace cayman::sim {
+
+/// One SSA value at runtime (integer or float payload per the static type).
+struct Slot {
+  int64_t i = 0;
+  double f = 0.0;
+};
+
+/// Executable operation kinds. Mostly 1:1 with ir::Opcode, but memory ops are
+/// split by payload type, SExt becomes MoveI, and control flow is lowered to
+/// explicit pc-targeted jumps plus per-block accounting heads.
+enum class MicroOpcode : uint16_t {
+  BlockHead,  // b = dense block id: count, cycles, instruction accounting
+  Add, Sub, Mul, SDiv, SRem, And, Or, Xor, Shl, AShr, LShr,
+  FAdd, FSub, FMul, FDiv, FNeg, FSqrt, FAbs, FMin, FMax,
+  ICmp,       // aux = ir::CmpPred
+  FCmp,       // aux = ir::CmpPred
+  SelectOp,   // a = cond, b = true slot, c = false slot
+  ZExt,       // aux = source ir::Type::Kind
+  MoveI,      // dst = {frame[a].i, 0.0} (SExt in this 64-bit-slot IR)
+  Trunc,      // aux = destination ir::Type::Kind
+  SIToFP,
+  FPToSI,     // aux = destination ir::Type::Kind
+  Gep,        // dst = frame[a].i + frame[b].i * imm
+  // Memory ops specialized by access width at decode time (Ptr loads/stores
+  // use the I64 forms). a = address slot for loads; a = value, b = address
+  // for stores.
+  LoadI1, LoadI32, LoadI64, LoadF32, LoadF64,
+  StoreI1, StoreI32, StoreI64, StoreF32, StoreF64,
+  Copy,       // dst = frame[a] (whole slot; phi edge moves)
+  Jump,       // b = target pc
+  CondJump,   // a = cond slot, b = pc if true, c = pc if false
+  Call,       // imm = callee index, a = arg offset, b = arg count,
+              // aux = 1 when dst receives the return value
+  Ret,        // aux = 1 when a holds the returned slot
+};
+
+/// Fixed-size decoded operation. Field meaning depends on the opcode; for
+/// plain compute ops dst/a/b/c are frame-slot indices. Integer arithmetic
+/// carries the result ir::Type::Kind in aux so narrow results wrap exactly
+/// like the tree-walking reference.
+struct MicroOp {
+  MicroOpcode op = MicroOpcode::BlockHead;
+  uint16_t aux = 0;
+  uint32_t dst = 0;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;
+  int64_t imm = 0;
+};
+
+/// One function lowered to a flat stream. Execution starts at ops[0] (the
+/// entry block's BlockHead) and finishes at a Ret micro-op.
+struct DecodedFunction {
+  const ir::Function* source = nullptr;
+  std::vector<MicroOp> ops;
+
+  // Frame layout: [arguments | instruction results | constant pool | scratch].
+  uint32_t numArgs = 0;
+  uint32_t constBase = 0;
+  uint32_t scratchSlot = 0;
+  uint32_t frameSize = 0;
+  std::vector<Slot> constPool;  // copied to frame[constBase..] per activation
+  bool returnsValue = false;
+
+  // Call micro-ops index these side tables (variable-length argument lists).
+  std::vector<uint32_t> callArgSlots;
+  std::vector<const ir::Function*> callees;
+
+  // Dense per-block metadata, indexed by the id in BlockHead.b.
+  std::vector<const ir::BasicBlock*> blockOf;
+  std::vector<double> blockCost;
+  std::vector<uint32_t> blockSize;
+
+  size_t numBlocks() const { return blockOf.size(); }
+};
+
+class Decoder {
+ public:
+  /// Memory provides global base addresses (stable across SimMemory::reset);
+  /// the cost model provides the per-block cycle costs baked into BlockHead
+  /// accounting.
+  Decoder(const SimMemory& memory, const CpuCostModel& model)
+      : memory_(memory), model_(model) {}
+
+  DecodedFunction decode(const ir::Function& function) const;
+
+ private:
+  const SimMemory& memory_;
+  const CpuCostModel& model_;
+};
+
+}  // namespace cayman::sim

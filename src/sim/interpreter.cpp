@@ -1,13 +1,16 @@
 #include "sim/interpreter.h"
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 namespace cayman::sim {
 
 using ir::Opcode;
 
-Interpreter::Interpreter(const ir::Module& module, CpuCostModel model)
-    : module_(module), model_(model), memory_(module) {}
+Interpreter::Interpreter(const ir::Module& module, CpuCostModel model,
+                         ExecMode mode)
+    : module_(module), model_(model), memory_(module), mode_(mode) {}
 
 const Interpreter::Numbering& Interpreter::numberingFor(
     const ir::Function& function) {
@@ -26,12 +29,35 @@ const Interpreter::Numbering& Interpreter::numberingFor(
   return numberings_.emplace(&function, std::move(numbering)).first->second;
 }
 
+Interpreter::DecodedEntry& Interpreter::decodedFor(
+    const ir::Function& function) {
+  auto it = decoded_.find(&function);
+  if (it != decoded_.end()) return *it->second;
+  auto entry = std::make_unique<DecodedEntry>();
+  entry->df = Decoder(memory_, model_).decode(function);
+  entry->counts.assign(entry->df.numBlocks(), 0);
+  return *decoded_.emplace(&function, std::move(entry)).first->second;
+}
+
+Interpreter::DecodeStats Interpreter::predecodeAll(bool force) {
+  if (force) decoded_.clear();
+  DecodeStats stats;
+  for (const auto& function : module_.functions()) {
+    const DecodedEntry& entry = decodedFor(*function);
+    ++stats.functions;
+    stats.microOps += entry.df.ops.size();
+    stats.constants += entry.df.constPool.size();
+  }
+  return stats;
+}
+
 Interpreter::Result Interpreter::run(std::span<const int64_t> args) {
   return runFunction(*module_.entryFunction(), args);
 }
 
 Interpreter::Result Interpreter::runFunction(const ir::Function& function,
                                              std::span<const int64_t> args) {
+  memory_.reset();
   Result result;
   std::vector<Slot> slots(function.numArguments());
   for (size_t i = 0; i < function.numArguments(); ++i) {
@@ -46,7 +72,21 @@ Interpreter::Result Interpreter::runFunction(const ir::Function& function,
     slots[i] = slot;
   }
   executed_ = 0;
-  Slot returnValue = execFunction(function, std::move(slots), result, 0);
+  Slot returnValue;
+  if (mode_ == ExecMode::Decoded) {
+    returnValue =
+        execDecoded(decodedFor(function), std::move(slots), result, 0);
+    // Map dense per-function counts back onto BasicBlock pointers.
+    for (auto& [fn, entry] : decoded_) {
+      for (size_t i = 0; i < entry->counts.size(); ++i) {
+        if (entry->counts[i] == 0) continue;
+        result.blockCounts[entry->df.blockOf[i]] += entry->counts[i];
+        entry->counts[i] = 0;
+      }
+    }
+  } else {
+    returnValue = execReference(function, std::move(slots), result, 0);
+  }
   if (!function.returnType()->isVoid()) result.returnValue = returnValue;
   return result;
 }
@@ -59,6 +99,54 @@ int64_t wrapInt(const ir::Type* type, int64_t value) {
     case ir::Type::Kind::I32: return static_cast<int32_t>(value);
     default: return value;
   }
+}
+
+/// Decoded-path variant keyed by the Type::Kind baked into MicroOp::aux.
+int64_t wrapKind(uint16_t kind, int64_t value) {
+  switch (static_cast<ir::Type::Kind>(kind)) {
+    case ir::Type::Kind::I1: return value & 1;
+    case ir::Type::Kind::I32: return static_cast<int32_t>(value);
+    default: return value;
+  }
+}
+
+/// Two's-complement wrapping arithmetic via unsigned casts: signed overflow
+/// is UB in C++, but several workloads (hash mixing, LCG-style token
+/// scramblers) rely on i64 wraparound. Results are identical to what the
+/// hardware produced before; UBSan now agrees.
+int64_t wrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+
+int64_t wrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+
+int64_t wrapMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                              static_cast<uint64_t>(b));
+}
+
+int64_t wrapShl(int64_t a, int64_t shift) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a)
+                              << (shift & 63));
+}
+
+/// Division guarded against the two C++-undefined cases: x/0 (defined here as
+/// 0, matching the pre-existing contract) and INT64_MIN / -1 (defined as the
+/// two's-complement wrap, INT64_MIN).
+int64_t safeSDiv(int64_t a, int64_t b) {
+  if (b == 0) return 0;
+  if (a == std::numeric_limits<int64_t>::min() && b == -1) return a;
+  return a / b;
+}
+
+int64_t safeSRem(int64_t a, int64_t b) {
+  if (b == 0) return 0;
+  if (a == std::numeric_limits<int64_t>::min() && b == -1) return 0;
+  return a % b;
 }
 
 bool compareInt(ir::CmpPred pred, int64_t a, int64_t b) {
@@ -87,9 +175,268 @@ bool compareFloat(ir::CmpPred pred, double a, double b) {
 
 }  // namespace
 
-Slot Interpreter::execFunction(const ir::Function& function,
-                               std::vector<Slot> args, Result& result,
-                               int depth) {
+Slot Interpreter::execDecoded(DecodedEntry& entry, std::vector<Slot> args,
+                              Result& result, int depth) {
+  CAYMAN_ASSERT(depth < 64, "interpreter call depth exceeded");
+  const DecodedFunction& df = entry.df;
+  std::vector<Slot> frame(df.frameSize);
+  for (size_t i = 0; i < args.size(); ++i) frame[i] = args[i];
+  for (size_t i = 0; i < df.constPool.size(); ++i) {
+    frame[df.constBase + i] = df.constPool[i];
+  }
+
+  Slot* f = frame.data();
+  const MicroOp* ops = df.ops.data();
+  uint64_t* counts = entry.counts.data();
+  uint32_t pc = 0;
+  for (;;) {
+    const MicroOp& u = ops[pc];
+    switch (u.op) {
+      case MicroOpcode::BlockHead: {
+        uint32_t id = u.b;
+        ++counts[id];
+        result.totalCycles += df.blockCost[id];
+        result.instructions += df.blockSize[id];
+        executed_ += df.blockSize[id];
+        CAYMAN_ASSERT(executed_ <= instructionLimit_,
+                      "instruction limit exceeded in " + df.source->name());
+        ++pc;
+        break;
+      }
+      case MicroOpcode::Add:
+        f[u.dst] = {wrapKind(u.aux, wrapAdd(f[u.a].i, f[u.b].i)), 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::Sub:
+        f[u.dst] = {wrapKind(u.aux, wrapSub(f[u.a].i, f[u.b].i)), 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::Mul:
+        f[u.dst] = {wrapKind(u.aux, wrapMul(f[u.a].i, f[u.b].i)), 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::SDiv:
+        f[u.dst] = {wrapKind(u.aux, safeSDiv(f[u.a].i, f[u.b].i)), 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::SRem:
+        f[u.dst] = {wrapKind(u.aux, safeSRem(f[u.a].i, f[u.b].i)), 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::And:
+        f[u.dst] = {f[u.a].i & f[u.b].i, 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::Or:
+        f[u.dst] = {f[u.a].i | f[u.b].i, 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::Xor:
+        f[u.dst] = {f[u.a].i ^ f[u.b].i, 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::Shl:
+        f[u.dst] = {wrapKind(u.aux, wrapShl(f[u.a].i, f[u.b].i)), 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::AShr:
+        f[u.dst] = {f[u.a].i >> (f[u.b].i & 63), 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::LShr:
+        f[u.dst] = {static_cast<int64_t>(static_cast<uint64_t>(f[u.a].i) >>
+                                         (f[u.b].i & 63)),
+                    0.0};
+        ++pc;
+        break;
+      case MicroOpcode::FAdd:
+        f[u.dst] = {0, f[u.a].f + f[u.b].f};
+        ++pc;
+        break;
+      case MicroOpcode::FSub:
+        f[u.dst] = {0, f[u.a].f - f[u.b].f};
+        ++pc;
+        break;
+      case MicroOpcode::FMul:
+        f[u.dst] = {0, f[u.a].f * f[u.b].f};
+        ++pc;
+        break;
+      case MicroOpcode::FDiv:
+        f[u.dst] = {0, f[u.a].f / f[u.b].f};
+        ++pc;
+        break;
+      case MicroOpcode::FNeg:
+        f[u.dst] = {0, -f[u.a].f};
+        ++pc;
+        break;
+      case MicroOpcode::FSqrt:
+        f[u.dst] = {0, std::sqrt(std::fabs(f[u.a].f))};
+        ++pc;
+        break;
+      case MicroOpcode::FAbs:
+        f[u.dst] = {0, std::fabs(f[u.a].f)};
+        ++pc;
+        break;
+      case MicroOpcode::FMin:
+        f[u.dst] = {0, std::fmin(f[u.a].f, f[u.b].f)};
+        ++pc;
+        break;
+      case MicroOpcode::FMax:
+        f[u.dst] = {0, std::fmax(f[u.a].f, f[u.b].f)};
+        ++pc;
+        break;
+      case MicroOpcode::ICmp:
+        f[u.dst] = {compareInt(static_cast<ir::CmpPred>(u.aux), f[u.a].i,
+                               f[u.b].i)
+                        ? 1
+                        : 0,
+                    0.0};
+        ++pc;
+        break;
+      case MicroOpcode::FCmp:
+        f[u.dst] = {compareFloat(static_cast<ir::CmpPred>(u.aux), f[u.a].f,
+                                 f[u.b].f)
+                        ? 1
+                        : 0,
+                    0.0};
+        ++pc;
+        break;
+      case MicroOpcode::SelectOp:
+        f[u.dst] = f[u.a].i != 0 ? f[u.b] : f[u.c];
+        ++pc;
+        break;
+      case MicroOpcode::ZExt: {
+        int64_t v = f[u.a].i;
+        switch (static_cast<ir::Type::Kind>(u.aux)) {
+          case ir::Type::Kind::I32:
+            v = static_cast<int64_t>(static_cast<uint32_t>(v));
+            break;
+          case ir::Type::Kind::I1:
+            v &= 1;
+            break;
+          default:
+            break;
+        }
+        f[u.dst] = {v, 0.0};
+        ++pc;
+        break;
+      }
+      case MicroOpcode::MoveI:
+        f[u.dst] = {f[u.a].i, 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::Trunc:
+        f[u.dst] = {wrapKind(u.aux, f[u.a].i), 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::SIToFP:
+        f[u.dst] = {0, static_cast<double>(f[u.a].i)};
+        ++pc;
+        break;
+      case MicroOpcode::FPToSI:
+        f[u.dst] = {wrapKind(u.aux, static_cast<int64_t>(f[u.a].f)), 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::Gep:
+        f[u.dst] = {wrapAdd(f[u.a].i, wrapMul(f[u.b].i, u.imm)), 0.0};
+        ++pc;
+        break;
+      case MicroOpcode::LoadI1: {
+        uint8_t v;
+        std::memcpy(&v, memory_.rawAt(static_cast<uint64_t>(f[u.a].i), 1), 1);
+        f[u.dst] = {v != 0, 0.0};
+        ++pc;
+        break;
+      }
+      case MicroOpcode::LoadI32: {
+        int32_t v;
+        std::memcpy(&v, memory_.rawAt(static_cast<uint64_t>(f[u.a].i), 4), 4);
+        f[u.dst] = {v, 0.0};
+        ++pc;
+        break;
+      }
+      case MicroOpcode::LoadI64: {
+        int64_t v;
+        std::memcpy(&v, memory_.rawAt(static_cast<uint64_t>(f[u.a].i), 8), 8);
+        f[u.dst] = {v, 0.0};
+        ++pc;
+        break;
+      }
+      case MicroOpcode::LoadF32: {
+        float v;
+        std::memcpy(&v, memory_.rawAt(static_cast<uint64_t>(f[u.a].i), 4), 4);
+        f[u.dst] = {0, v};
+        ++pc;
+        break;
+      }
+      case MicroOpcode::LoadF64: {
+        double v;
+        std::memcpy(&v, memory_.rawAt(static_cast<uint64_t>(f[u.a].i), 8), 8);
+        f[u.dst] = {0, v};
+        ++pc;
+        break;
+      }
+      case MicroOpcode::StoreI1: {
+        uint8_t v = f[u.a].i != 0;
+        std::memcpy(memory_.rawAt(static_cast<uint64_t>(f[u.b].i), 1), &v, 1);
+        ++pc;
+        break;
+      }
+      case MicroOpcode::StoreI32: {
+        int32_t v = static_cast<int32_t>(f[u.a].i);
+        std::memcpy(memory_.rawAt(static_cast<uint64_t>(f[u.b].i), 4), &v, 4);
+        ++pc;
+        break;
+      }
+      case MicroOpcode::StoreI64: {
+        std::memcpy(memory_.rawAt(static_cast<uint64_t>(f[u.b].i), 8),
+                    &f[u.a].i, 8);
+        ++pc;
+        break;
+      }
+      case MicroOpcode::StoreF32: {
+        float v = static_cast<float>(f[u.a].f);
+        std::memcpy(memory_.rawAt(static_cast<uint64_t>(f[u.b].i), 4), &v, 4);
+        ++pc;
+        break;
+      }
+      case MicroOpcode::StoreF64: {
+        std::memcpy(memory_.rawAt(static_cast<uint64_t>(f[u.b].i), 8),
+                    &f[u.a].f, 8);
+        ++pc;
+        break;
+      }
+      case MicroOpcode::Copy:
+        f[u.dst] = f[u.a];
+        ++pc;
+        break;
+      case MicroOpcode::Jump:
+        pc = u.b;
+        break;
+      case MicroOpcode::CondJump:
+        pc = f[u.a].i != 0 ? u.b : u.c;
+        break;
+      case MicroOpcode::Call: {
+        std::vector<Slot> callArgs(u.b);
+        for (uint32_t i = 0; i < u.b; ++i) {
+          callArgs[i] = f[df.callArgSlots[u.a + i]];
+        }
+        DecodedEntry& callee =
+            decodedFor(*df.callees[static_cast<size_t>(u.imm)]);
+        Slot ret = execDecoded(callee, std::move(callArgs), result, depth + 1);
+        if (u.aux != 0) f[u.dst] = ret;
+        ++pc;
+        break;
+      }
+      case MicroOpcode::Ret:
+        return u.aux != 0 ? f[u.a] : Slot{};
+    }
+  }
+}
+
+Slot Interpreter::execReference(const ir::Function& function,
+                                std::vector<Slot> args, Result& result,
+                                int depth) {
   CAYMAN_ASSERT(depth < 64, "interpreter call depth exceeded");
   const Numbering& numbering = numberingFor(function);
   std::vector<Slot> frame(static_cast<size_t>(numbering.count));
@@ -145,38 +492,35 @@ Slot Interpreter::execFunction(const ir::Function& function,
       const ir::Instruction* inst = block->instructions()[idx].get();
       switch (inst->opcode()) {
         case Opcode::Add:
-          setSlot(inst, {wrapInt(inst->type(), slotOf(inst->operand(0)).i +
-                                                   slotOf(inst->operand(1)).i),
+          setSlot(inst, {wrapInt(inst->type(),
+                                 wrapAdd(slotOf(inst->operand(0)).i,
+                                         slotOf(inst->operand(1)).i)),
                          0.0});
           break;
         case Opcode::Sub:
-          setSlot(inst, {wrapInt(inst->type(), slotOf(inst->operand(0)).i -
-                                                   slotOf(inst->operand(1)).i),
+          setSlot(inst, {wrapInt(inst->type(),
+                                 wrapSub(slotOf(inst->operand(0)).i,
+                                         slotOf(inst->operand(1)).i)),
                          0.0});
           break;
         case Opcode::Mul:
-          setSlot(inst, {wrapInt(inst->type(), slotOf(inst->operand(0)).i *
-                                                   slotOf(inst->operand(1)).i),
+          setSlot(inst, {wrapInt(inst->type(),
+                                 wrapMul(slotOf(inst->operand(0)).i,
+                                         slotOf(inst->operand(1)).i)),
                          0.0});
           break;
-        case Opcode::SDiv: {
-          int64_t divisor = slotOf(inst->operand(1)).i;
-          setSlot(inst,
-                  {divisor == 0 ? 0
-                                : wrapInt(inst->type(),
-                                          slotOf(inst->operand(0)).i / divisor),
-                   0.0});
+        case Opcode::SDiv:
+          setSlot(inst, {wrapInt(inst->type(),
+                                 safeSDiv(slotOf(inst->operand(0)).i,
+                                          slotOf(inst->operand(1)).i)),
+                         0.0});
           break;
-        }
-        case Opcode::SRem: {
-          int64_t divisor = slotOf(inst->operand(1)).i;
-          setSlot(inst,
-                  {divisor == 0 ? 0
-                                : wrapInt(inst->type(),
-                                          slotOf(inst->operand(0)).i % divisor),
-                   0.0});
+        case Opcode::SRem:
+          setSlot(inst, {wrapInt(inst->type(),
+                                 safeSRem(slotOf(inst->operand(0)).i,
+                                          slotOf(inst->operand(1)).i)),
+                         0.0});
           break;
-        }
         case Opcode::And:
           setSlot(inst, {slotOf(inst->operand(0)).i &
                              slotOf(inst->operand(1)).i,
@@ -194,8 +538,8 @@ Slot Interpreter::execFunction(const ir::Function& function,
           break;
         case Opcode::Shl:
           setSlot(inst, {wrapInt(inst->type(),
-                                 slotOf(inst->operand(0)).i
-                                     << (slotOf(inst->operand(1)).i & 63)),
+                                 wrapShl(slotOf(inst->operand(0)).i,
+                                         slotOf(inst->operand(1)).i)),
                          0.0});
           break;
         case Opcode::AShr:
@@ -293,9 +637,9 @@ Slot Interpreter::execFunction(const ir::Function& function,
           break;
         case Opcode::Gep:
           setSlot(inst,
-                  {slotOf(inst->operand(0)).i +
-                       slotOf(inst->operand(1)).i *
-                           static_cast<int64_t>(inst->gepElemSize()),
+                  {wrapAdd(slotOf(inst->operand(0)).i,
+                           wrapMul(slotOf(inst->operand(1)).i,
+                                   static_cast<int64_t>(inst->gepElemSize()))),
                    0.0});
           break;
         case Opcode::Load: {
@@ -325,8 +669,8 @@ Slot Interpreter::execFunction(const ir::Function& function,
           for (const ir::Value* operand : inst->operands()) {
             callArgs.push_back(slotOf(operand));
           }
-          Slot ret = execFunction(*inst->callee(), std::move(callArgs),
-                                  result, depth + 1);
+          Slot ret = execReference(*inst->callee(), std::move(callArgs),
+                                   result, depth + 1);
           if (!inst->type()->isVoid()) setSlot(inst, ret);
           break;
         }

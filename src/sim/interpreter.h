@@ -1,4 +1,12 @@
 // IR interpreter with cycle accounting — Cayman's profiling substrate.
+//
+// Two execution engines share one Result shape:
+//   - Decoded (default): each function is lowered once by sim::Decoder into a
+//     flat micro-op stream; the hot loop is a tight switch over fixed-size
+//     micro-ops with all operands pre-resolved to frame slots — no hash-map
+//     access per dynamic instruction.
+//   - Reference: the original tree-walking loop, kept as the semantic oracle
+//     for golden-equivalence tests (results must be bit-identical).
 #pragma once
 
 #include <optional>
@@ -6,20 +14,18 @@
 #include <unordered_map>
 
 #include "sim/cpu_model.h"
+#include "sim/decoder.h"
 #include "sim/memory.h"
 
 namespace cayman::sim {
 
-/// One SSA value at runtime (integer or float payload per the static type).
-struct Slot {
-  int64_t i = 0;
-  double f = 0.0;
-};
-
 class Interpreter {
  public:
+  enum class ExecMode { Decoded, Reference };
+
   explicit Interpreter(const ir::Module& module,
-                       CpuCostModel model = CpuCostModel::cva6());
+                       CpuCostModel model = CpuCostModel::cva6(),
+                       ExecMode mode = ExecMode::Decoded);
 
   struct Result {
     double totalCycles = 0.0;
@@ -34,11 +40,15 @@ class Interpreter {
   };
 
   /// Executes the module's entry function. Integer arguments map
-  /// positionally; missing arguments default to zero.
+  /// positionally; missing arguments default to zero. Memory is reset to its
+  /// initial image first, so repeated runs are deterministic.
   Result run(std::span<const int64_t> args = {});
-  /// Executes a specific function.
+  /// Executes a specific function (also from a freshly reset memory image).
   Result runFunction(const ir::Function& function,
                      std::span<const int64_t> args = {});
+
+  ExecMode mode() const { return mode_; }
+  void setMode(ExecMode mode) { mode_ = mode; }
 
   SimMemory& memory() { return memory_; }
   const SimMemory& memory() const { return memory_; }
@@ -47,19 +57,41 @@ class Interpreter {
   /// Abort execution after this many dynamic instructions (runaway guard).
   void setInstructionLimit(uint64_t limit) { instructionLimit_ = limit; }
 
+  struct DecodeStats {
+    size_t functions = 0;
+    size_t microOps = 0;
+    size_t constants = 0;
+  };
+  /// Decodes every function in the module (normally decoding is lazy, per
+  /// function, on first execution). With force, drops cached streams and
+  /// re-decodes — used to benchmark decode time in isolation.
+  DecodeStats predecodeAll(bool force = false);
+
  private:
   struct Numbering {
     std::unordered_map<const ir::Value*, int> index;
     int count = 0;
   };
+  /// Decoded stream plus its dense execution-count accumulator (folded into
+  /// Result::blockCounts at the end of each run).
+  struct DecodedEntry {
+    DecodedFunction df;
+    std::vector<uint64_t> counts;
+  };
 
   const Numbering& numberingFor(const ir::Function& function);
-  Slot execFunction(const ir::Function& function, std::vector<Slot> args,
-                    Result& result, int depth);
+  DecodedEntry& decodedFor(const ir::Function& function);
+  Slot execDecoded(DecodedEntry& entry, std::vector<Slot> args, Result& result,
+                   int depth);
+  Slot execReference(const ir::Function& function, std::vector<Slot> args,
+                     Result& result, int depth);
 
   const ir::Module& module_;
   CpuCostModel model_;
   SimMemory memory_;
+  ExecMode mode_;
+  std::unordered_map<const ir::Function*, std::unique_ptr<DecodedEntry>>
+      decoded_;
   std::unordered_map<const ir::Function*, Numbering> numberings_;
   std::unordered_map<const ir::BasicBlock*, double> blockCost_;
   uint64_t instructionLimit_ = 2'000'000'000;

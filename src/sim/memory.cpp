@@ -52,7 +52,10 @@ SimMemory::SimMemory(const ir::Module& module) {
       }
     }
   }
+  initialBytes_ = bytes_;
 }
+
+void SimMemory::reset() { bytes_ = initialBytes_; }
 
 uint64_t SimMemory::baseOf(const ir::GlobalArray* global) const {
   auto it = bases_.find(global);

@@ -19,6 +19,12 @@ class SimMemory {
 
   uint64_t baseOf(const ir::GlobalArray* global) const;
 
+  /// Restores every byte to the post-construction image (explicit
+  /// initializers + deterministic fill), discarding all stores since. Global
+  /// base addresses are unaffected, so decoded micro-op streams that folded
+  /// them into immediates stay valid.
+  void reset();
+
   int64_t loadInt(uint64_t address, const ir::Type* type) const;
   double loadFloat(uint64_t address, const ir::Type* type) const;
   void storeInt(uint64_t address, const ir::Type* type, int64_t value);
@@ -30,6 +36,20 @@ class SimMemory {
 
   size_t sizeBytes() const { return bytes_.size(); }
 
+  /// Bounds-checked raw access for the decoded interpreter's width-
+  /// specialized load/store micro-ops; inline so the hot loop pays one
+  /// compare instead of an out-of-line call plus a type switch.
+  const std::byte* rawAt(uint64_t address, size_t size) const {
+    CAYMAN_ASSERT(address >= kBase && address - kBase + size <= bytes_.size(),
+                  "simulated memory access out of bounds at address " +
+                      std::to_string(address));
+    return bytes_.data() + (address - kBase);
+  }
+  std::byte* rawAt(uint64_t address, size_t size) {
+    return const_cast<std::byte*>(
+        static_cast<const SimMemory*>(this)->rawAt(address, size));
+  }
+
  private:
   const std::byte* at(uint64_t address, size_t size) const;
   std::byte* at(uint64_t address, size_t size);
@@ -37,6 +57,7 @@ class SimMemory {
   static constexpr uint64_t kBase = 0x1000;
 
   std::vector<std::byte> bytes_;
+  std::vector<std::byte> initialBytes_;
   std::map<const ir::GlobalArray*, uint64_t> bases_;
 };
 

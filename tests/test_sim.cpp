@@ -52,6 +52,78 @@ TEST(SimMemoryTest, DefaultFillIsDeterministicAndBounded) {
   }
 }
 
+TEST(SimMemoryTest, ResetRestoresInitialImage) {
+  ir::Module m("mem");
+  auto* a = m.addGlobal("a", ir::Type::f64(), 4);
+  a->setInit({1.0, 2.0, 3.0, 4.0});
+  auto* n = m.addGlobal("n", ir::Type::i64(), 8);  // deterministic fill
+  SimMemory memory(m);
+  std::vector<int64_t> fill(8);
+  for (uint64_t i = 0; i < 8; ++i) {
+    fill[i] = memory.readElemI64(n, i);
+  }
+
+  memory.storeFloat(memory.baseOf(a), ir::Type::f64(), -99.0);
+  memory.storeInt(memory.baseOf(n), ir::Type::i64(), 1234);
+  ASSERT_DOUBLE_EQ(memory.readElemF64(a, 0), -99.0);
+
+  memory.reset();
+  EXPECT_DOUBLE_EQ(memory.readElemF64(a, 0), 1.0);
+  EXPECT_DOUBLE_EQ(memory.readElemF64(a, 3), 4.0);
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(memory.readElemI64(n, i), fill[i]);
+  }
+}
+
+/// Round-trip through the interpreter: run, mutate globals from outside,
+/// re-run — the automatic reset at the start of run() must make the second
+/// Result identical to the first.
+TEST(SimMemoryTest, ResetRoundTripThroughInterpreter) {
+  auto module = std::make_unique<ir::Module>("roundtrip");
+  auto* x = module->addGlobal("x", ir::Type::i64(), 16);
+  auto* out = module->addGlobal("out", ir::Type::i64(), 16);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 16, "i");
+  // Data-dependent control flow so clobbered inputs would change counts.
+  ir::Value* v = kb.loadAt(x, i);
+  ir::Value* odd = kb.ir().icmp(ir::CmpPred::EQ,
+                                kb.ir().srem(v, kb.ir().i64(2)),
+                                kb.ir().i64(1));
+  kb.beginIf(odd, /*withElse=*/true);
+  kb.storeAt(out, i, kb.ir().mul(v, kb.ir().i64(3)));
+  kb.beginElse();
+  kb.storeAt(out, i, v);
+  kb.endIf();
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  Interpreter interp(*module);
+  Interpreter::Result first = interp.run();
+  std::vector<int64_t> firstOut(16);
+  for (uint64_t k = 0; k < 16; ++k) {
+    firstOut[k] = interp.memory().readElemI64(out, k);
+  }
+
+  // Trash both arrays, then re-run: reset must restore the initial image.
+  for (uint64_t k = 0; k < 16; ++k) {
+    interp.memory().storeInt(
+        interp.memory().baseOf(x) + k * sizeof(int64_t), ir::Type::i64(), -7);
+    interp.memory().storeInt(
+        interp.memory().baseOf(out) + k * sizeof(int64_t), ir::Type::i64(),
+        -8);
+  }
+  Interpreter::Result second = interp.run();
+
+  EXPECT_EQ(first.totalCycles, second.totalCycles);
+  EXPECT_EQ(first.instructions, second.instructions);
+  EXPECT_EQ(first.blockCounts, second.blockCounts);
+  for (uint64_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(interp.memory().readElemI64(out, k), firstOut[k]) << k;
+  }
+}
+
 TEST(SimMemoryTest, OutOfBoundsAccessThrows) {
   ir::Module m("mem");
   m.addGlobal("a", ir::Type::f64(), 4);
