@@ -4,11 +4,23 @@
 // average saving, 74% on 3mm's three identical matmuls, and ~3 regions per
 // reusable accelerator.
 #include <cstdio>
+#include <string>
 
 #include "cayman/framework.h"
+#include "support/thread_pool.h"
 #include "workloads/workloads.h"
 
 using namespace cayman;
+
+namespace {
+
+struct MergeRow {
+  std::string line;  // empty when the workload selected no kernels
+  double savingPercent = 0.0;
+  bool selected = false;
+};
+
+}  // namespace
 
 int main() {
   std::printf("Ablation: accelerator merging on/off (budget 65%%)\n\n");
@@ -16,19 +28,35 @@ int main() {
               "area-before", "area-after", "save%", "reusable",
               "kern/reuse");
 
+  const auto& registry = workloads::all();
+  ThreadPool pool;
+  std::vector<MergeRow> rows =
+      parallelIndexMap(pool, registry.size(), [&](size_t i) {
+        const auto& info = registry[i];
+        Framework fw(workloads::build(info.name));
+        select::Solution best = fw.best(0.65);
+        MergeRow row;
+        if (best.empty()) return row;
+        merge::MergeResult merged = fw.mergeSolution(best);
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%-20s %8zu %12.0f %12.0f %8.1f %10d %12.2f\n",
+                      info.name.c_str(), best.accelerators.size(),
+                      merged.areaBeforeUm2, merged.areaAfterUm2,
+                      merged.savingPercent(), merged.reusableAccelerators,
+                      merged.avgKernelsPerReusable);
+        row.line = line;
+        row.savingPercent = merged.savingPercent();
+        row.selected = true;
+        return row;
+      });
+
   double totalSave = 0.0;
   int count = 0;
-  for (const auto& info : workloads::all()) {
-    Framework fw(workloads::build(info.name));
-    select::Solution best = fw.best(0.65);
-    if (best.empty()) continue;
-    merge::MergeResult merged = fw.mergeSolution(best);
-    std::printf("%-20s %8zu %12.0f %12.0f %8.1f %10d %12.2f\n",
-                info.name.c_str(), best.accelerators.size(),
-                merged.areaBeforeUm2, merged.areaAfterUm2,
-                merged.savingPercent(), merged.reusableAccelerators,
-                merged.avgKernelsPerReusable);
-    totalSave += merged.savingPercent();
+  for (const MergeRow& row : rows) {
+    if (!row.selected) continue;
+    std::fputs(row.line.c_str(), stdout);
+    totalSave += row.savingPercent;
     ++count;
   }
   std::printf("\naverage saving: %.1f%% (paper: 35%% at 65%% budget)\n",

@@ -6,9 +6,11 @@
 // pipelined II 3 (coupled) vs 1 (decoupled); unrolled 9(N/2) (coupled) vs
 // 4(N/2) (scratchpad).
 #include <cstdio>
+#include <string>
 
 #include "hls/scheduler.h"
 #include "ir/verifier.h"
+#include "support/thread_pool.h"
 #include "workloads/kernel_builder.h"
 
 using namespace cayman;
@@ -83,29 +85,38 @@ int main() {
        "4(N/2)"},
   };
 
-  for (const Case& c : cases) {
-    hls::IfaceAssignment ifaces =
-        assign(*body, c.kind, /*partitions=*/c.unroll);
-    hls::BlockSchedule sched =
-        scheduler.scheduleBlock(*body, ifaces, c.unroll);
-    uint64_t iterations = static_cast<uint64_t>(kN) / c.unroll;
-    uint64_t total;
-    double perIter;
-    if (c.pipelined) {
-      unsigned ii = scheduler.resMII(*body, ifaces, c.unroll);
-      total = hls::Scheduler::pipelinedCycles(iterations, sched.latency + 1,
-                                              ii);
-      perIter = static_cast<double>(ii);
-      std::printf("%-16s %-12s %14llu %14.2f %12s (II=%u)\n", c.ctrl,
-                  c.iface, static_cast<unsigned long long>(total), perIter,
-                  c.paper, ii);
-    } else {
-      total = iterations * (sched.latency + 1);  // +1: loop control step
-      perIter = static_cast<double>(total) / static_cast<double>(kN);
-      std::printf("%-16s %-12s %14llu %14.2f %12s\n", c.ctrl, c.iface,
-                  static_cast<unsigned long long>(total), perIter, c.paper);
-    }
-  }
+  // Each case schedules independently against the shared (read-only) block
+  // and scheduler; lines are rendered per task and printed in case order.
+  ThreadPool pool;
+  std::vector<std::string> lines = parallelIndexMap(
+      pool, std::size(cases), [&](size_t index) {
+        const Case& c = cases[index];
+        hls::IfaceAssignment ifaces =
+            assign(*body, c.kind, /*partitions=*/c.unroll);
+        hls::BlockSchedule sched =
+            scheduler.scheduleBlock(*body, ifaces, c.unroll);
+        uint64_t iterations = static_cast<uint64_t>(kN) / c.unroll;
+        char line[128];
+        if (c.pipelined) {
+          unsigned ii = scheduler.resMII(*body, ifaces, c.unroll);
+          uint64_t total = hls::Scheduler::pipelinedCycles(
+              iterations, sched.latency + 1, ii);
+          std::snprintf(line, sizeof(line),
+                        "%-16s %-12s %14llu %14.2f %12s (II=%u)", c.ctrl,
+                        c.iface, static_cast<unsigned long long>(total),
+                        static_cast<double>(ii), c.paper, ii);
+        } else {
+          uint64_t total = iterations * (sched.latency + 1);  // +1: control
+          double perIter =
+              static_cast<double>(total) / static_cast<double>(kN);
+          std::snprintf(line, sizeof(line), "%-16s %-12s %14llu %14.2f %12s",
+                        c.ctrl, c.iface,
+                        static_cast<unsigned long long>(total), perIter,
+                        c.paper);
+        }
+        return std::string(line);
+      });
+  for (const std::string& line : lines) std::printf("%s\n", line.c_str());
 
   std::printf(
       "\nshape checks: decoupled < coupled sequentially; pipelined decoupled "

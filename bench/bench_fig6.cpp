@@ -5,20 +5,82 @@
 // poorly with area; full Cayman dominates; coupled-only trails full Cayman
 // except on loops-all-mid-10k-sp where FP recurrences bound the II anyway.
 #include <cstdio>
+#include <string>
 
 #include "cayman/framework.h"
+#include "support/thread_pool.h"
 #include "workloads/workloads.h"
 
 using namespace cayman;
 
 namespace {
 
-void printSeries(const char* label,
-                 const std::vector<std::pair<double, double>>& points) {
-  std::printf("  %s:\n", label);
+std::string renderSeries(const char* label,
+                         const std::vector<std::pair<double, double>>& points) {
+  std::string out = "  " + std::string(label) + ":\n";
+  char line[64];
   for (const auto& [areaRatio, speedup] : points) {
-    std::printf("    area=%.4f speedup=%.3f\n", areaRatio, speedup);
+    std::snprintf(line, sizeof(line), "    area=%.4f speedup=%.3f\n",
+                  areaRatio, speedup);
+    out += line;
   }
+  return out;
+}
+
+std::string renderBenchmark(const char* name, double budgetRatio) {
+  std::string out = "\n== " + std::string(name) + " ==\n";
+
+  Framework full(workloads::build(name));
+  FrameworkOptions coupledOptions;
+  coupledOptions.coupledOnly = true;
+  Framework coupled(workloads::build(name), coupledOptions);
+
+  double tile = full.tech().cva6TileAreaUm2;
+  double tAll = full.totalCpuCycles();
+  double ratio = full.options().clockRatio();
+
+  std::vector<std::pair<double, double>> series;
+
+  // NOVIA: greedy CFU prefix points.
+  for (const auto& p : full.novia().paretoFront(budgetRatio * tile)) {
+    series.emplace_back(p.areaUm2 / tile, p.speedup(tAll));
+  }
+  out += renderSeries("NOVIA", series);
+
+  // QsCores: sequential + scan-chain solutions.
+  series.clear();
+  for (const auto& s : full.qscores().paretoFront(budgetRatio * tile, ratio)) {
+    series.emplace_back(s.areaUm2 / tile, s.speedup(tAll, ratio));
+  }
+  out += renderSeries("QsCores", series);
+
+  // Coupled-only Cayman (interface-specialization ablation).
+  series.clear();
+  for (const auto& s : coupled.explore(budgetRatio)) {
+    series.emplace_back(s.areaUm2 / tile, coupled.speedupOf(s));
+  }
+  out += renderSeries("Cayman (coupled-only)", series);
+
+  // Full Cayman.
+  series.clear();
+  for (const auto& s : full.explore(budgetRatio)) {
+    series.emplace_back(s.areaUm2 / tile, full.speedupOf(s));
+  }
+  out += renderSeries("Cayman (full)", series);
+
+  // Shape summary for quick eyeballing.
+  double bestFull = full.speedupOf(full.best(budgetRatio));
+  double bestCoupled = coupled.speedupOf(coupled.best(budgetRatio));
+  double bestNovia = full.novia().best(budgetRatio * tile).speedup(tAll);
+  double bestQs =
+      full.qscores().best(budgetRatio * tile, ratio).speedup(tAll, ratio);
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "  best: full=%.2fx coupled-only=%.2fx qscores=%.2fx "
+                "novia=%.2fx\n",
+                bestFull, bestCoupled, bestQs, bestNovia);
+  out += line;
+  return out;
 }
 
 }  // namespace
@@ -30,57 +92,10 @@ int main() {
   std::printf("Fig. 6 reproduction: Pareto fronts (x: area / CVA6 tile, "
               "y: whole-program speedup)\n");
 
-  for (const char* name : benchmarks) {
-    std::printf("\n== %s ==\n", name);
-
-    Framework full(workloads::build(name));
-    FrameworkOptions coupledOptions;
-    coupledOptions.coupledOnly = true;
-    Framework coupled(workloads::build(name), coupledOptions);
-
-    double tile = full.tech().cva6TileAreaUm2;
-    double tAll = full.totalCpuCycles();
-    double ratio = full.options().clockRatio();
-
-    std::vector<std::pair<double, double>> series;
-
-    // NOVIA: greedy CFU prefix points.
-    for (const auto& p : full.novia().paretoFront(budgetRatio * tile)) {
-      series.emplace_back(p.areaUm2 / tile, p.speedup(tAll));
-    }
-    printSeries("NOVIA", series);
-
-    // QsCores: sequential + scan-chain solutions.
-    series.clear();
-    for (const auto& s :
-         full.qscores().paretoFront(budgetRatio * tile, ratio)) {
-      series.emplace_back(s.areaUm2 / tile, s.speedup(tAll, ratio));
-    }
-    printSeries("QsCores", series);
-
-    // Coupled-only Cayman (interface-specialization ablation).
-    series.clear();
-    for (const auto& s : coupled.explore(budgetRatio)) {
-      series.emplace_back(s.areaUm2 / tile, coupled.speedupOf(s));
-    }
-    printSeries("Cayman (coupled-only)", series);
-
-    // Full Cayman.
-    series.clear();
-    for (const auto& s : full.explore(budgetRatio)) {
-      series.emplace_back(s.areaUm2 / tile, full.speedupOf(s));
-    }
-    printSeries("Cayman (full)", series);
-
-    // Shape summary for quick eyeballing.
-    double bestFull = full.speedupOf(full.best(budgetRatio));
-    double bestCoupled = coupled.speedupOf(coupled.best(budgetRatio));
-    double bestNovia = full.novia().best(budgetRatio * tile).speedup(tAll);
-    double bestQs =
-        full.qscores().best(budgetRatio * tile, ratio).speedup(tAll, ratio);
-    std::printf("  best: full=%.2fx coupled-only=%.2fx qscores=%.2fx "
-                "novia=%.2fx\n",
-                bestFull, bestCoupled, bestQs, bestNovia);
-  }
+  ThreadPool pool;
+  std::vector<std::string> blocks = parallelIndexMap(
+      pool, std::size(benchmarks),
+      [&](size_t i) { return renderBenchmark(benchmarks[i], budgetRatio); });
+  for (const std::string& block : blocks) std::fputs(block.c_str(), stdout);
   return 0;
 }

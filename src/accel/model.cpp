@@ -194,7 +194,26 @@ hls::IfaceAssignment AcceleratorModel::assignInterfaces(
   return assignment;
 }
 
-std::vector<AcceleratorConfig> AcceleratorModel::generate(
+const std::vector<AcceleratorConfig>& AcceleratorModel::generate(
+    const Region* region) const {
+  {
+    std::lock_guard<std::mutex> lock(generateCacheMutex_);
+    auto it = generateCache_.find(region);
+    if (it != generateCache_.end()) return it->second;
+  }
+  // Compute outside the lock: generateUncached is a pure function of the
+  // region, so two threads racing here produce identical lists and the
+  // loser's copy is simply discarded by try_emplace.
+  std::vector<AcceleratorConfig> configs = generateUncached(region);
+  std::lock_guard<std::mutex> lock(generateCacheMutex_);
+  return generateCache_.try_emplace(region, std::move(configs)).first->second;
+}
+
+void AcceleratorModel::warmGenerateCache() const {
+  wpst_.root()->walk([this](const Region& region) { generate(&region); });
+}
+
+std::vector<AcceleratorConfig> AcceleratorModel::generateUncached(
     const Region* region) const {
   std::vector<AcceleratorConfig> result;
   if (!region->isCandidate()) return result;
@@ -351,15 +370,33 @@ AcceleratorModel::Estimate AcceleratorModel::estimateRegion(
   return e;
 }
 
+/// Visit the interface assignment in program order (region block order,
+/// then instruction order within each block). `config.ifaces` is keyed by
+/// instruction pointer, so iterating the map directly follows heap-address
+/// order — which varies between runs and between sequential and threaded
+/// executions of the same process. Floating-point accumulations (and "first
+/// access per array" decisions) must use this stable order instead.
+template <typename Fn>
+static void forEachIfaceInProgramOrder(const AcceleratorConfig& config,
+                                       Fn&& fn) {
+  for (const ir::BasicBlock* block : config.region->blocks()) {
+    for (const auto& inst : block->instructions()) {
+      auto it = config.ifaces.find(inst.get());
+      if (it != config.ifaces.end()) fn(inst.get(), it->second);
+    }
+  }
+}
+
 double AcceleratorModel::interfaceArea(const AcceleratorConfig& config) const {
   double area = 0.0;
   std::set<const ir::GlobalArray*> scratchArrays;
-  for (const auto& [inst, iface] : config.ifaces) {
+  forEachIfaceInProgramOrder(config, [&](const ir::Instruction* inst,
+                                         const hls::AccessIface& iface) {
     if (iface.promoted) {
       // One 64-bit holding register; the bracketing access reuses the
       // loop's control FSM.
       area += tech_.registerAreaPerBit * 64;
-      continue;
+      return;
     }
     switch (iface.kind) {
       case hls::IfaceKind::Coupled:
@@ -378,7 +415,8 @@ double AcceleratorModel::interfaceArea(const AcceleratorConfig& config) const {
         break;
       }
       case hls::IfaceKind::Scratchpad: {
-        // Buffer + DMA costed once per backing array; banking per access.
+        // Buffer + DMA costed once per backing array (charged to the first
+        // access in program order); banking per access.
         if (iface.array != nullptr &&
             scratchArrays.insert(iface.array).second) {
           area += tech_.scratchpadAreaPerByte *
@@ -389,31 +427,40 @@ double AcceleratorModel::interfaceArea(const AcceleratorConfig& config) const {
         break;
       }
     }
-  }
+  });
   return area;
 }
 
 double AcceleratorModel::dmaCyclesPerEntry(
     const AcceleratorConfig& config) const {
   // Fill before execution for read arrays, drain after for written arrays.
-  std::map<const ir::GlobalArray*, std::pair<bool, bool>> arrays;  // rd, wr
-  std::map<const ir::GlobalArray*, uint64_t> bytes;
-  for (const auto& [inst, iface] : config.ifaces) {
+  // Arrays are summed in first-access program order, not pointer order.
+  struct ArrayDma {
+    bool rd = false;
+    bool wr = false;
+    uint64_t bytes = 0;
+  };
+  std::vector<const ir::GlobalArray*> order;
+  std::map<const ir::GlobalArray*, ArrayDma> arrays;
+  forEachIfaceInProgramOrder(config, [&](const ir::Instruction* inst,
+                                         const hls::AccessIface& iface) {
     if (iface.kind != hls::IfaceKind::Scratchpad || iface.array == nullptr) {
-      continue;
+      return;
     }
-    auto& [rd, wr] = arrays[iface.array];
-    rd |= inst->opcode() == ir::Opcode::Load;
-    wr |= inst->opcode() == ir::Opcode::Store;
-    bytes[iface.array] = std::max(bytes[iface.array], iface.footprintBytes);
-  }
+    auto [it, inserted] = arrays.try_emplace(iface.array);
+    if (inserted) order.push_back(iface.array);
+    it->second.rd |= inst->opcode() == ir::Opcode::Load;
+    it->second.wr |= inst->opcode() == ir::Opcode::Store;
+    it->second.bytes = std::max(it->second.bytes, iface.footprintBytes);
+  });
   double cycles = 0.0;
-  for (const auto& [array, dirs] : arrays) {
+  for (const ir::GlobalArray* array : order) {
+    const ArrayDma& dma = arrays[array];
     double transfer = std::ceil(
-        static_cast<double>(bytes[array]) /
+        static_cast<double>(dma.bytes) /
         static_cast<double>(scheduler_.timing().dmaBytesPerCycle));
-    if (dirs.first) cycles += transfer;
-    if (dirs.second) cycles += transfer;
+    if (dma.rd) cycles += transfer;
+    if (dma.wr) cycles += transfer;
   }
   return cycles;
 }

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "accel/config.h"
 #include "hls/scheduler.h"
@@ -56,7 +58,17 @@ class AcceleratorModel {
 
   /// accel(v, R): candidate configurations for one kernel region, cheapest
   /// first. Empty when the region is not a legal/profitable candidate.
-  std::vector<AcceleratorConfig> generate(const analysis::Region* region) const;
+  ///
+  /// Memoized: the result is budget-independent (budget filtering happens in
+  /// the selector), so repeated budget sweeps over one model reuse the cached
+  /// list. Safe to call from concurrent selector runs; the returned reference
+  /// stays valid for the model's lifetime.
+  const std::vector<AcceleratorConfig>& generate(
+      const analysis::Region* region) const;
+
+  /// Eagerly fills the generate cache for every candidate region of the
+  /// wPST, so later concurrent explore() calls are pure cache reads.
+  void warmGenerateCache() const;
 
   /// Re-estimates (cycles, area, counters) for a fully-specified config.
   void estimate(AcceleratorConfig& config) const;
@@ -79,6 +91,8 @@ class AcceleratorModel {
     unsigned pipelined = 0;
   };
 
+  std::vector<AcceleratorConfig> generateUncached(
+      const analysis::Region* region) const;
   Estimate estimateRegion(const analysis::Region* region,
                           const AcceleratorConfig& config,
                           unsigned unrollContext) const;
@@ -100,6 +114,14 @@ class AcceleratorModel {
   hls::Scheduler scheduler_;
   ModelParams params_;
   std::map<const ir::Function*, std::unique_ptr<KernelAnalyses>> analyses_;
+
+  /// generate() memoization. unordered_map node references survive rehashes,
+  /// so cached lists can be handed out by reference while other regions are
+  /// still being inserted. Guarded for concurrent selector runs.
+  mutable std::mutex generateCacheMutex_;
+  mutable std::unordered_map<const analysis::Region*,
+                             std::vector<AcceleratorConfig>>
+      generateCache_;
 };
 
 }  // namespace cayman::accel

@@ -29,21 +29,24 @@ QsCoresFlow::QsCoresFlow(const analysis::WPst& wpst,
                          const hls::TechLibrary& tech)
     : model_(wpst, profile, tech, scanChainTiming(), restrictedParams()) {}
 
-std::vector<select::Solution> QsCoresFlow::paretoFront(double areaBudgetUm2,
-                                                       double clockRatio) {
+std::vector<select::Solution> QsCoresFlow::paretoFront(
+    double areaBudgetUm2, double clockRatio) const {
   select::SelectorParams params;
   params.areaBudgetUm2 = areaBudgetUm2;
   params.clockRatio = clockRatio;
   select::CandidateSelector selector(model_, params);
-  return selector.select();
+  select::CandidateSelector::Stats stats;
+  return selector.select(stats);
 }
 
-select::Solution QsCoresFlow::best(double areaBudgetUm2, double clockRatio) {
+select::Solution QsCoresFlow::best(double areaBudgetUm2,
+                                   double clockRatio) const {
   select::SelectorParams params;
   params.areaBudgetUm2 = areaBudgetUm2;
   params.clockRatio = clockRatio;
   select::CandidateSelector selector(model_, params);
-  return selector.best();
+  select::CandidateSelector::Stats stats;
+  return selector.best(stats);
 }
 
 }  // namespace cayman::baselines

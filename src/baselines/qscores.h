@@ -22,9 +22,11 @@ class QsCoresFlow {
   /// Model restrictions: sequential control only, coupled-style access only.
   static accel::ModelParams restrictedParams();
 
+  /// Both are safe to call concurrently: selection state is per-call and
+  /// the restricted model's generate cache is internally synchronized.
   std::vector<select::Solution> paretoFront(double areaBudgetUm2,
-                                            double clockRatio = 1.25);
-  select::Solution best(double areaBudgetUm2, double clockRatio = 1.25);
+                                            double clockRatio = 1.25) const;
+  select::Solution best(double areaBudgetUm2, double clockRatio = 1.25) const;
 
   const accel::AcceleratorModel& model() const { return model_; }
 

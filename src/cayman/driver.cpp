@@ -1,0 +1,88 @@
+#include "cayman/driver.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "support/thread_pool.h"
+#include "workloads/workloads.h"
+
+namespace cayman {
+
+namespace {
+
+std::string formatLine(const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+WorkloadEvaluation evaluateWorkload(const std::string& name,
+                                    double budgetRatio,
+                                    const FrameworkOptions& options) {
+  const workloads::WorkloadInfo* info = workloads::byName(name);
+  CAYMAN_ASSERT(info != nullptr, "unknown workload: " + name);
+  WorkloadEvaluation evaluation;
+  evaluation.name = info->name;
+  evaluation.suite = info->suite;
+  Framework framework(workloads::build(name), options);
+  evaluation.report = framework.evaluate(budgetRatio);
+  return evaluation;
+}
+
+std::vector<WorkloadEvaluation> evaluateWorkloads(
+    const std::vector<std::string>& names, double budgetRatio, unsigned jobs,
+    const FrameworkOptions& options) {
+  if (jobs == 0) jobs = ThreadPool::defaultWorkers();
+  ThreadPool pool(jobs);
+  return parallelIndexMap(pool, names.size(), [&](size_t i) {
+    return evaluateWorkload(names[i], budgetRatio, options);
+  });
+}
+
+std::vector<WorkloadEvaluation> evaluateAll(double budgetRatio,
+                                            unsigned jobs) {
+  std::vector<std::string> names;
+  for (const auto& info : workloads::all()) names.push_back(info.name);
+  return evaluateWorkloads(names, budgetRatio, jobs);
+}
+
+std::string formatEvaluationLine(const WorkloadEvaluation& evaluation) {
+  const EvaluationReport& r = evaluation.report;
+  return formatLine(
+      "%-12s %-22s %8.3fx over[21]=%8.3f over[23]=%8.3f "
+      "SB=%-3u PR=%-3u C=%-3u D=%-3u S=%-3u save=%6.2f%%",
+      evaluation.suite.c_str(), evaluation.name.c_str(), r.caymanSpeedup,
+      r.overNovia, r.overQsCores, r.numSeqBlocks, r.numPipelinedRegions,
+      r.numCoupled, r.numDecoupled, r.numScratchpad, r.areaSavingPercent);
+}
+
+std::string formatEvaluationTable(
+    const std::vector<WorkloadEvaluation>& evaluations) {
+  std::string table;
+  if (evaluations.empty()) return table;
+  table += formatLine("evaluation at budget %.0f%% of a CVA6 tile (%zu "
+                      "workloads)\n",
+                      100.0 * evaluations.front().report.budgetRatio,
+                      evaluations.size());
+  double overNovia = 0.0, overQs = 0.0, save = 0.0, speedup = 0.0;
+  for (const WorkloadEvaluation& evaluation : evaluations) {
+    table += formatEvaluationLine(evaluation);
+    table += '\n';
+    overNovia += evaluation.report.overNovia;
+    overQs += evaluation.report.overQsCores;
+    save += evaluation.report.areaSavingPercent;
+    speedup += evaluation.report.caymanSpeedup;
+  }
+  double n = static_cast<double>(evaluations.size());
+  table += formatLine("average: speedup=%8.3fx over[21]=%8.3f "
+                      "over[23]=%8.3f save=%6.2f%%\n",
+                      speedup / n, overNovia / n, overQs / n, save / n);
+  return table;
+}
+
+}  // namespace cayman

@@ -1,0 +1,48 @@
+// Parallel evaluation driver: runs the full Table II-style evaluation over
+// many workloads on a thread pool, one Framework per worker task, results
+// ordered by workload registry order regardless of schedule.
+//
+// Determinism contract: every field of the returned reports (and every byte
+// of the formatted table, which deliberately omits wall-clock timings) is
+// bit-identical between jobs=1 and jobs=N runs — each task is a pure
+// function of (workload name, budget).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cayman/framework.h"
+
+namespace cayman {
+
+/// One evaluated workload: the registry entry plus its Table II row.
+struct WorkloadEvaluation {
+  std::string name;
+  std::string suite;
+  EvaluationReport report;
+};
+
+/// Builds, profiles, and evaluates one workload at `budgetRatio`.
+WorkloadEvaluation evaluateWorkload(const std::string& name,
+                                    double budgetRatio,
+                                    const FrameworkOptions& options = {});
+
+/// Evaluates the named workloads at `budgetRatio` on `jobs` pool workers
+/// (jobs == 0 means ThreadPool::defaultWorkers()). Output order follows
+/// `names`.
+std::vector<WorkloadEvaluation> evaluateWorkloads(
+    const std::vector<std::string>& names, double budgetRatio, unsigned jobs,
+    const FrameworkOptions& options = {});
+
+/// Evaluates every registered workload (the paper's 28) at `budgetRatio`.
+std::vector<WorkloadEvaluation> evaluateAll(double budgetRatio, unsigned jobs);
+
+/// Deterministic one-line rendering of one evaluation (no timing fields).
+std::string formatEvaluationLine(const WorkloadEvaluation& evaluation);
+
+/// Deterministic multi-line table: header, one line per workload, and an
+/// average row. Bit-identical across jobs counts by construction.
+std::string formatEvaluationTable(
+    const std::vector<WorkloadEvaluation>& evaluations);
+
+}  // namespace cayman

@@ -34,24 +34,25 @@ Framework::Framework(std::unique_ptr<ir::Module> module,
       std::make_unique<baselines::QsCoresFlow>(*wpst_, *profile_, tech_);
 }
 
-std::vector<select::Solution> Framework::explore(double budgetRatio) const {
+select::SelectorParams Framework::selectorParams(double budgetRatio) const {
   select::SelectorParams params;
   params.areaBudgetUm2 = budgetUm2(budgetRatio);
   params.alpha = options_.alpha;
   params.pruneHotFraction = options_.pruneHotFraction;
   params.clockRatio = options_.clockRatio();
-  select::CandidateSelector selector(*model_, params);
-  return selector.select();
+  return params;
+}
+
+std::vector<select::Solution> Framework::explore(double budgetRatio) const {
+  select::CandidateSelector selector(*model_, selectorParams(budgetRatio));
+  select::CandidateSelector::Stats stats;
+  return selector.select(stats);
 }
 
 select::Solution Framework::best(double budgetRatio) const {
-  select::SelectorParams params;
-  params.areaBudgetUm2 = budgetUm2(budgetRatio);
-  params.alpha = options_.alpha;
-  params.pruneHotFraction = options_.pruneHotFraction;
-  params.clockRatio = options_.clockRatio();
-  select::CandidateSelector selector(*model_, params);
-  return selector.best();
+  select::CandidateSelector selector(*model_, selectorParams(budgetRatio));
+  select::CandidateSelector::Stats stats;
+  return selector.best(stats);
 }
 
 merge::MergeResult Framework::mergeSolution(

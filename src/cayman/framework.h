@@ -79,6 +79,9 @@ class Framework {
   }
 
   /// Pareto-optimal solution sequence under the budget (Algorithm 1).
+  /// Thread-safe: concurrent explore/best/evaluate calls on one Framework
+  /// share only the model's mutex-guarded generate cache; selector state is
+  /// per-call.
   std::vector<select::Solution> explore(double budgetRatio) const;
   /// Best (highest-saving) solution under the budget.
   select::Solution best(double budgetRatio) const;
@@ -95,9 +98,11 @@ class Framework {
 
   /// Baseline access (Fig. 6 series).
   const baselines::NoviaFlow& novia() const { return *novia_; }
-  baselines::QsCoresFlow& qscores() const { return *qscores_; }
+  const baselines::QsCoresFlow& qscores() const { return *qscores_; }
 
  private:
+  select::SelectorParams selectorParams(double budgetRatio) const;
+
   FrameworkOptions options_;
   std::unique_ptr<ir::Module> module_;
   std::unique_ptr<analysis::WPst> wpst_;
@@ -106,7 +111,7 @@ class Framework {
   hls::TechLibrary tech_;
   std::unique_ptr<accel::AcceleratorModel> model_;
   std::unique_ptr<baselines::NoviaFlow> novia_;
-  mutable std::unique_ptr<baselines::QsCoresFlow> qscores_;
+  std::unique_ptr<baselines::QsCoresFlow> qscores_;
 };
 
 }  // namespace cayman

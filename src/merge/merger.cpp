@@ -91,7 +91,11 @@ double AcceleratorMerger::pairSaving(const OpCounts& a,
     double muxCost = operandCount(opClass.first) *
                          (2.0 * bits * tech_.muxAreaPerInputBit) +
                      2.0 * tech_.configBitArea;
-    saving += shared * (opArea - muxCost);
+    // Not-worth-sharing op classes contribute nothing: a merger would keep
+    // separate instances rather than pay more mux area than the operator is
+    // worth, so a cheap-op-dominated pair must never drag the total saving
+    // below what its expensive ops alone justify.
+    saving += shared * std::max(0.0, opArea - muxCost);
   }
   return saving;
 }
@@ -119,6 +123,10 @@ MergeResult AcceleratorMerger::run(const select::Solution& solution) const {
       if (!units[i].alive) continue;
       for (size_t j = i + 1; j < units.size(); ++j) {
         if (!units[j].alive) continue;
+        // Merging shares datapaths across accelerators (paper §III-E);
+        // two units of the same accelerator are one datapath already and
+        // pairing them would book intra-accelerator sharing as reuse.
+        if (units[i].acceleratorIndex == units[j].acceleratorIndex) continue;
         double saving = pairSaving(units[i].ops, units[j].ops);
         if (saving > bestSaving) {
           bestSaving = saving;

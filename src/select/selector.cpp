@@ -5,15 +5,16 @@ namespace cayman::select {
 using analysis::Region;
 using analysis::RegionKind;
 
-std::vector<Solution> CandidateSelector::dp(const Region* region) {
-  ++stats_.regionsVisited;
+std::vector<Solution> CandidateSelector::dp(const Region* region,
+                                            Stats& stats) const {
+  ++stats.regionsVisited;
 
   // prune(v, R): regions that are not hotspots cannot pay for themselves —
   // skip the whole subtree (their descendants are at most as hot). Root and
   // Function vertices are structural and never pruned.
   if ((region->isBb() || region->isCtrlFlow()) &&
       model_.profile().hotFraction(region) < params_.pruneHotFraction) {
-    ++stats_.regionsPruned;
+    ++stats.regionsPruned;
     return {Solution{}};
   }
 
@@ -22,7 +23,7 @@ std::vector<Solution> CandidateSelector::dp(const Region* region) {
   if (region->kind() == RegionKind::Bb) {
     std::vector<Solution> options{Solution{}};
     for (const accel::AcceleratorConfig& config : model_.generate(region)) {
-      ++stats_.configsGenerated;
+      ++stats.configsGenerated;
       if (config.areaUm2 > params_.areaBudgetUm2) continue;
       options.push_back(Solution::fromConfig(config));
     }
@@ -32,7 +33,7 @@ std::vector<Solution> CandidateSelector::dp(const Region* region) {
 
   // Combine children subtrees (⊗ over siblings).
   for (const auto& child : region->children()) {
-    std::vector<Solution> childFront = dp(child.get());
+    std::vector<Solution> childFront = dp(child.get(), stats);
     front = filterByAlpha(
         combine(front, childFront, params_.areaBudgetUm2, params_.clockRatio),
         params_.alpha);
@@ -41,7 +42,7 @@ std::vector<Solution> CandidateSelector::dp(const Region* region) {
   // ctrl-flow regions may alternatively be selected whole.
   if (region->isCtrlFlow()) {
     for (const accel::AcceleratorConfig& config : model_.generate(region)) {
-      ++stats_.configsGenerated;
+      ++stats.configsGenerated;
       if (config.areaUm2 > params_.areaBudgetUm2) continue;
       front.push_back(Solution::fromConfig(config));
     }
@@ -51,13 +52,13 @@ std::vector<Solution> CandidateSelector::dp(const Region* region) {
   return front;
 }
 
-std::vector<Solution> CandidateSelector::select() {
-  stats_ = Stats{};
-  return dp(model_.wpst().root());
+std::vector<Solution> CandidateSelector::select(Stats& stats) const {
+  stats = Stats{};
+  return dp(model_.wpst().root(), stats);
 }
 
-Solution CandidateSelector::best() {
-  std::vector<Solution> front = select();
+Solution CandidateSelector::best(Stats& stats) const {
+  std::vector<Solution> front = select(stats);
   Solution bestSolution;
   double bestSaved = 0.0;
   for (Solution& s : front) {

@@ -27,24 +27,32 @@ class CandidateSelector {
                     SelectorParams params)
       : model_(model), params_(params) {}
 
-  /// Runs Algorithm 1 and returns F[root]: the Pareto-optimal solution
-  /// sequence under the area budget, ascending in area.
-  std::vector<Solution> select();
-
-  /// The single best solution under the budget (last of select()).
-  Solution best();
-
   struct Stats {
     int regionsVisited = 0;
     int regionsPruned = 0;
     int configsGenerated = 0;
   };
+
+  /// Runs Algorithm 1 and returns F[root]: the Pareto-optimal solution
+  /// sequence under the area budget, ascending in area. Stats accumulate
+  /// into the caller-owned `stats`, so one selector can run concurrently
+  /// from several threads (the model's generate cache is internally
+  /// synchronized; the selector itself holds no mutable state).
+  std::vector<Solution> select(Stats& stats) const;
+
+  /// The single best solution under the budget (from select()).
+  Solution best(Stats& stats) const;
+
+  /// Convenience wrappers recording into the selector-owned stats block.
+  /// Single-threaded use only; `stats()` reads back the last run.
+  std::vector<Solution> select() { return select(stats_); }
+  Solution best() { return best(stats_); }
   const Stats& stats() const { return stats_; }
 
   const SelectorParams& params() const { return params_; }
 
  private:
-  std::vector<Solution> dp(const analysis::Region* region);
+  std::vector<Solution> dp(const analysis::Region* region, Stats& stats) const;
 
   const accel::AcceleratorModel& model_;
   SelectorParams params_;

@@ -1,0 +1,50 @@
+#include "support/thread_pool.h"
+
+#include <cstdlib>
+
+namespace cayman {
+
+unsigned ThreadPool::defaultWorkers() {
+  if (const char* env = std::getenv("CAYMAN_JOBS")) {
+    char* end = nullptr;
+    long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0 && value <= 1024) {
+      return static_cast<unsigned>(value);
+    }
+  }
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace cayman

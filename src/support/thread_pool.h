@@ -1,0 +1,81 @@
+// Fixed-size thread pool for the evaluation driver: `submit` returns a
+// std::future, `parallelIndexMap` fans an index range out across the workers
+// and returns the results in index order, so parallel runs are bit-identical
+// to sequential ones as long as each task is a pure function of its index.
+//
+// No work stealing, no priorities: DSE tasks (one workload or one budget
+// point each) are coarse enough that a single locked queue never contends.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cayman {
+
+class ThreadPool {
+ public:
+  /// Workers to use when the caller does not say: CAYMAN_JOBS from the
+  /// environment when set, else std::thread::hardware_concurrency, never 0.
+  static unsigned defaultWorkers();
+
+  explicit ThreadPool(unsigned workers = defaultWorkers());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Enqueues `fn` and returns its future. Exceptions thrown by `fn`
+  /// propagate through the future.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+ private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs fn(0), ..., fn(n - 1) on the pool and returns the results ordered by
+/// index. The schedule is nondeterministic; the result vector is not.
+template <typename Fn>
+auto parallelIndexMap(ThreadPool& pool, size_t n, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn, size_t>> {
+  using Result = std::invoke_result_t<Fn, size_t>;
+  std::vector<std::future<Result>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([fn, i] { return fn(i); }));
+  }
+  std::vector<Result> results;
+  results.reserve(n);
+  for (std::future<Result>& future : futures) {
+    results.push_back(future.get());
+  }
+  return results;
+}
+
+}  // namespace cayman

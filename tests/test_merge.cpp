@@ -37,10 +37,37 @@ TEST(PairSavingTest, DisjointOpsSaveNothing) {
 TEST(PairSavingTest, CheapOpsNotWorthMuxes) {
   hls::TechLibrary tech = hls::TechLibrary::nangate45();
   AcceleratorMerger merger(tech);
-  // Sharing a single AND gate costs more mux area than it saves.
+  // Sharing a single AND gate costs more mux area than it saves — a merger
+  // keeps separate instances, so the estimated saving clamps to zero
+  // instead of going negative.
   OpCounts a{{{ir::Opcode::And, true}, 1}};
   OpCounts b{{{ir::Opcode::And, true}, 1}};
-  EXPECT_LT(merger.pairSaving(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(merger.pairSaving(a, b), 0.0);
+}
+
+TEST(PairSavingTest, CheapSharedOpsNeverReduceSaving) {
+  // Regression: per-op-class contributions used to go negative, so a pair
+  // dominated by narrow/cheap ops reported less saving than its expensive
+  // ops alone (or a bogus negative total).
+  hls::TechLibrary tech = hls::TechLibrary::nangate45();
+  AcceleratorMerger merger(tech);
+  OpCounts expensiveA{{{ir::Opcode::FMul, true}, 1}};
+  OpCounts expensiveB{{{ir::Opcode::FMul, true}, 1}};
+  double base = merger.pairSaving(expensiveA, expensiveB);
+  ASSERT_GT(base, 0.0);
+
+  OpCounts mixedA = expensiveA;
+  OpCounts mixedB = expensiveB;
+  mixedA[{ir::Opcode::And, true}] = 12;
+  mixedB[{ir::Opcode::And, true}] = 12;
+  mixedA[{ir::Opcode::Xor, true}] = 8;
+  mixedB[{ir::Opcode::Xor, true}] = 8;
+  EXPECT_GE(merger.pairSaving(mixedA, mixedB), base)
+      << "cheap shared ops must not eat into the saving of expensive ones";
+
+  // A pair made only of not-worth-sharing ops saves exactly nothing.
+  OpCounts cheapA{{{ir::Opcode::And, true}, 12}, {{ir::Opcode::Xor, true}, 8}};
+  EXPECT_DOUBLE_EQ(merger.pairSaving(cheapA, cheapA), 0.0);
 }
 
 struct MergePipeline {
@@ -92,6 +119,73 @@ TEST(MergerTest, SingleAcceleratorSavesLittle) {
   MergeResult result = merger.run(best);
   EXPECT_EQ(result.reusableAccelerators, 0);
   EXPECT_LT(result.savingPercent(), 30.0);
+}
+
+/// Two same-shaped FMul loops nested in one outer loop, so the outer-loop
+/// region is a single accelerator whose blocks share expensive operators.
+std::unique_ptr<ir::Module> twinLoopKernel() {
+  auto module = std::make_unique<ir::Module>("twins");
+  auto* x = module->addGlobal("x", ir::Type::f64(), 32);
+  auto* y = module->addGlobal("y", ir::Type::f64(), 32);
+  auto* z = module->addGlobal("z", ir::Type::f64(), 32);
+  workloads::KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  kb.beginLoop(0, 8, "i");
+  ir::Value* j = kb.beginLoop(0, 32, "j");
+  kb.storeAt(y, j, kb.ir().fmul(kb.loadAt(x, j), kb.ir().f64(2.0)));
+  kb.endLoop();
+  ir::Value* k = kb.beginLoop(0, 32, "k");
+  kb.storeAt(z, k, kb.ir().fmul(kb.loadAt(x, k), kb.ir().f64(3.0)));
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+  return module;
+}
+
+TEST(MergerTest, SingleAcceleratorReportsZeroMergeSteps) {
+  // Regression: the greedy loop used to pair two units of the *same*
+  // accelerator, booking intra-accelerator sharing as cross-kernel reuse
+  // while the group accounting saw a singleton. The paper merges datapaths
+  // across accelerators only.
+  MergePipeline p(twinLoopKernel());
+  const analysis::Region* outer = nullptr;
+  for (const analysis::Region* r : p.wpst.allRegions()) {
+    if (r->kind() == analysis::RegionKind::Loop &&
+        r->block()->name() == "i.header") {
+      outer = r;
+    }
+  }
+  ASSERT_NE(outer, nullptr);
+  const std::vector<accel::AcceleratorConfig>& configs =
+      p.model.generate(outer);
+  ASSERT_FALSE(configs.empty());
+  // One accelerator covering both FMul loops: plenty of shareable ops
+  // between its own blocks, but nothing to merge across accelerators.
+  select::Solution solo = select::Solution::fromConfig(configs.back());
+  AcceleratorMerger merger(p.tech);
+  MergeResult result = merger.run(solo);
+  EXPECT_EQ(result.mergeSteps, 0);
+  EXPECT_EQ(result.reusableAccelerators, 0);
+  EXPECT_DOUBLE_EQ(result.areaAfterUm2, result.areaBeforeUm2);
+
+  // Sanity: the same two loops as *separate* accelerators do merge.
+  const analysis::Region* inner1 = nullptr;
+  const analysis::Region* inner2 = nullptr;
+  for (const analysis::Region* r : p.wpst.allRegions()) {
+    if (r->kind() != analysis::RegionKind::Loop) continue;
+    if (r->block()->name() == "j.header") inner1 = r;
+    if (r->block()->name() == "k.header") inner2 = r;
+  }
+  ASSERT_NE(inner1, nullptr);
+  ASSERT_NE(inner2, nullptr);
+  select::Solution pair = select::Solution::merge(
+      select::Solution::fromConfig(p.model.generate(inner1).back()),
+      select::Solution::fromConfig(p.model.generate(inner2).back()));
+  MergeResult merged = merger.run(pair);
+  EXPECT_GE(merged.mergeSteps, 1);
+  EXPECT_EQ(merged.reusableAccelerators, 1);
+  EXPECT_LT(merged.areaAfterUm2, merged.areaBeforeUm2);
 }
 
 TEST(MergerTest, EmptySolutionIsNoop) {

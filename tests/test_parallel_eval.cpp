@@ -1,0 +1,126 @@
+// Determinism tests for the parallel DSE layer: a parallel evaluate-all run
+// must be bit-identical to the sequential one, and concurrent explore()
+// calls on a shared Framework must match their sequential counterparts.
+// The TSan CI job runs this binary.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cayman/driver.h"
+#include "support/thread_pool.h"
+#include "workloads/workloads.h"
+
+namespace cayman {
+namespace {
+
+/// Exact comparison of every deterministic report field (wall-clock
+/// selectionSeconds is the one legitimate difference).
+void expectReportsIdentical(const EvaluationReport& a,
+                            const EvaluationReport& b,
+                            const std::string& name) {
+  EXPECT_EQ(a.budgetRatio, b.budgetRatio) << name;
+  EXPECT_EQ(a.caymanSpeedup, b.caymanSpeedup) << name;
+  EXPECT_EQ(a.noviaSpeedup, b.noviaSpeedup) << name;
+  EXPECT_EQ(a.qscoresSpeedup, b.qscoresSpeedup) << name;
+  EXPECT_EQ(a.overNovia, b.overNovia) << name;
+  EXPECT_EQ(a.overQsCores, b.overQsCores) << name;
+  EXPECT_EQ(a.numSeqBlocks, b.numSeqBlocks) << name;
+  EXPECT_EQ(a.numPipelinedRegions, b.numPipelinedRegions) << name;
+  EXPECT_EQ(a.numCoupled, b.numCoupled) << name;
+  EXPECT_EQ(a.numDecoupled, b.numDecoupled) << name;
+  EXPECT_EQ(a.numScratchpad, b.numScratchpad) << name;
+  EXPECT_EQ(a.areaSavingPercent, b.areaSavingPercent) << name;
+  EXPECT_EQ(a.solution.areaUm2, b.solution.areaUm2) << name;
+  EXPECT_EQ(a.solution.accelCycles, b.solution.accelCycles) << name;
+  EXPECT_EQ(a.solution.cpuCycles, b.solution.cpuCycles) << name;
+  EXPECT_EQ(a.solution.accelerators.size(), b.solution.accelerators.size())
+      << name;
+  EXPECT_EQ(a.merging.areaBeforeUm2, b.merging.areaBeforeUm2) << name;
+  EXPECT_EQ(a.merging.areaAfterUm2, b.merging.areaAfterUm2) << name;
+  EXPECT_EQ(a.merging.mergeSteps, b.merging.mergeSteps) << name;
+  EXPECT_EQ(a.merging.reusableAccelerators, b.merging.reusableAccelerators)
+      << name;
+}
+
+TEST(ParallelEvalTest, ParallelEvaluateAllMatchesSequentialBitExact) {
+  // All 28 workloads: jobs=1 is the sequential reference; jobs=4 must
+  // reproduce every report field and every output byte.
+  std::vector<WorkloadEvaluation> sequential = evaluateAll(0.25, 1);
+  std::vector<WorkloadEvaluation> parallel = evaluateAll(0.25, 4);
+  ASSERT_EQ(sequential.size(), workloads::all().size());
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].name, parallel[i].name);
+    EXPECT_EQ(sequential[i].suite, parallel[i].suite);
+    expectReportsIdentical(sequential[i].report, parallel[i].report,
+                           sequential[i].name);
+  }
+  EXPECT_EQ(formatEvaluationTable(sequential), formatEvaluationTable(parallel));
+}
+
+TEST(ParallelEvalTest, ConcurrentExploreOnSharedFrameworkIsDeterministic) {
+  // Budget sweeps on one Framework race on the model's generate cache —
+  // exactly the access pattern the mutex guards.
+  Framework framework(workloads::build("3mm"));
+  const std::vector<double> budgets = {0.10, 0.15, 0.20, 0.25,
+                                       0.30, 0.35, 0.40, 0.45};
+
+  std::vector<std::vector<select::Solution>> sequential;
+  for (double budget : budgets) {
+    sequential.push_back(framework.explore(budget));
+  }
+
+  ThreadPool pool(4);
+  std::vector<std::vector<select::Solution>> parallel = parallelIndexMap(
+      pool, budgets.size(),
+      [&](size_t i) { return framework.explore(budgets[i]); });
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    ASSERT_EQ(sequential[i].size(), parallel[i].size()) << budgets[i];
+    for (size_t j = 0; j < sequential[i].size(); ++j) {
+      EXPECT_EQ(sequential[i][j].areaUm2, parallel[i][j].areaUm2);
+      EXPECT_EQ(sequential[i][j].accelCycles, parallel[i][j].accelCycles);
+      EXPECT_EQ(sequential[i][j].cpuCycles, parallel[i][j].cpuCycles);
+      EXPECT_EQ(sequential[i][j].accelerators.size(),
+                parallel[i][j].accelerators.size());
+    }
+  }
+}
+
+TEST(ParallelEvalTest, ConcurrentEvaluateOnSharedFrameworkIsDeterministic) {
+  Framework framework(workloads::build("fft"));
+  EvaluationReport seqSmall = framework.evaluate(0.25);
+  EvaluationReport seqLarge = framework.evaluate(0.65);
+
+  // Hammer both budgets from several threads at once.
+  ThreadPool pool(4);
+  std::vector<EvaluationReport> reports =
+      parallelIndexMap(pool, 8, [&](size_t i) {
+        return framework.evaluate(i % 2 == 0 ? 0.25 : 0.65);
+      });
+  for (size_t i = 0; i < reports.size(); ++i) {
+    expectReportsIdentical(reports[i], i % 2 == 0 ? seqSmall : seqLarge,
+                           "fft");
+  }
+}
+
+TEST(ParallelEvalTest, WarmedCacheDoesNotChangeResults) {
+  Framework cold(workloads::build("atax"));
+  Framework warm(workloads::build("atax"));
+  warm.model().warmGenerateCache();
+  expectReportsIdentical(cold.evaluate(0.25), warm.evaluate(0.25), "atax");
+}
+
+TEST(ParallelEvalTest, EvaluateWorkloadsHonorsNameOrder) {
+  std::vector<std::string> names = {"mvt", "atax", "3mm"};
+  std::vector<WorkloadEvaluation> evaluations =
+      evaluateWorkloads(names, 0.25, 3);
+  ASSERT_EQ(evaluations.size(), names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(evaluations[i].name, names[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cayman

@@ -130,6 +130,84 @@ TEST(CombineTest, CrossProductsRespectBudget) {
 }
 
 // --------------------------------------------------------------------------
+// Property tests over pseudo-random solution sets (deterministic LCG).
+// --------------------------------------------------------------------------
+
+/// Minimal deterministic generator — keeps the property inputs identical on
+/// every run and platform.
+struct Lcg {
+  uint64_t state;
+  explicit Lcg(uint64_t seed) : state(seed) {}
+  uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  }
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * static_cast<double>(next() % 100000) / 100000.0;
+  }
+};
+
+std::vector<Solution> randomSolutions(Lcg& rng, size_t count) {
+  std::vector<Solution> solutions;
+  solutions.push_back(Solution{});
+  for (size_t i = 1; i < count; ++i) {
+    double area = rng.uniform(1.0, 500.0);
+    double cpu = rng.uniform(0.0, 2000.0);
+    double accel = rng.uniform(0.0, 1500.0);
+    solutions.push_back(makeSolution(area, cpu, accel));
+  }
+  return solutions;
+}
+
+bool dominates(const Solution& a, const Solution& b, double ratio) {
+  return a.areaUm2 <= b.areaUm2 && a.savedCycles(ratio) >= b.savedCycles(ratio);
+}
+
+TEST(ParetoPropertyTest, OutputIsMutuallyNonDominated) {
+  for (uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL, 99999ULL}) {
+    Lcg rng(seed);
+    std::vector<Solution> front =
+        pareto(randomSolutions(rng, 120), kRatio);
+    for (size_t i = 0; i < front.size(); ++i) {
+      for (size_t j = 0; j < front.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(dominates(front[i], front[j], kRatio))
+            << "seed " << seed << ": solution " << i << " (area "
+            << front[i].areaUm2 << ") dominates " << j << " (area "
+            << front[j].areaUm2 << ")";
+      }
+    }
+  }
+}
+
+TEST(ParetoPropertyTest, CombineNeverExceedsBudget) {
+  for (uint64_t seed : {3ULL, 17ULL, 256ULL, 4096ULL}) {
+    Lcg rng(seed);
+    std::vector<Solution> a = pareto(randomSolutions(rng, 40), kRatio);
+    std::vector<Solution> b = pareto(randomSolutions(rng, 40), kRatio);
+    for (double budget : {50.0, 200.0, 700.0}) {
+      for (const Solution& s : combine(a, b, budget, kRatio)) {
+        EXPECT_LE(s.areaUm2, budget)
+            << "seed " << seed << " budget " << budget;
+      }
+    }
+  }
+}
+
+TEST(ParetoPropertyTest, CombineOutputAlsoNonDominated) {
+  Lcg rng(77);
+  std::vector<Solution> a = pareto(randomSolutions(rng, 30), kRatio);
+  std::vector<Solution> b = pareto(randomSolutions(rng, 30), kRatio);
+  std::vector<Solution> combined = combine(a, b, 600.0, kRatio);
+  for (size_t i = 0; i < combined.size(); ++i) {
+    for (size_t j = 0; j < combined.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(combined[i], combined[j], kRatio));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
 // Algorithm 1 end-to-end over real kernels.
 // --------------------------------------------------------------------------
 

@@ -1,0 +1,118 @@
+// Tests for the support thread pool: future plumbing, ordered parallel
+// maps, exception propagation, and concurrent-submission stress (the TSan
+// CI job runs this binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "support/error.h"
+#include "support/thread_pool.h"
+
+namespace cayman {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> future = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, DefaultWorkersIsNeverZero) {
+  EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+  ThreadPool zero(0);  // clamped, not rejected
+  EXPECT_EQ(zero.workers(), 1u);
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanCoresIsFine) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.workers(), 8u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&ran] { ++ran; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([i] { return i; }));
+  }
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 999LL * 1000 / 2);
+}
+
+TEST(ThreadPoolTest, ParallelIndexMapPreservesOrder) {
+  ThreadPool pool(4);
+  std::vector<size_t> results =
+      parallelIndexMap(pool, 257, [](size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 257u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelIndexMapMatchesSequentialExactly) {
+  // The determinism contract: a pure fn(i) yields the same vector whether
+  // the pool has 1 worker or many.
+  auto fn = [](size_t i) {
+    double x = 1.0;
+    for (size_t k = 0; k < i % 17; ++k) x = x * 1.5 + static_cast<double>(i);
+    return x;
+  };
+  ThreadPool one(1);
+  ThreadPool many(8);
+  std::vector<double> sequential = parallelIndexMap(one, 300, fn);
+  std::vector<double> parallel = parallelIndexMap(many, 300, fn);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i], parallel[i]);  // bit-identical, no tolerance
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> future =
+      pool.submit([]() -> int { throw Error("task failed"); });
+  EXPECT_THROW(future.get(), Error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersStress) {
+  ThreadPool pool(4);
+  std::atomic<long long> total{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &total] {
+      std::vector<std::future<int>> futures;
+      for (int i = 1; i <= 100; ++i) {
+        futures.push_back(pool.submit([i] { return i; }));
+      }
+      for (auto& f : futures) total += f.get();
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 4LL * 100 * 101 / 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.submit([&ran] { ++ran; }));
+    }
+  }  // destructor joins after the queue drains
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+}  // namespace
+}  // namespace cayman

@@ -5,16 +5,21 @@
 //   cayman_cli wpst <workload>               print its profiled wPST
 //   cayman_cli explore <workload> [budget]   print the Pareto frontier
 //   cayman_cli evaluate <workload> [budget]  full evaluation vs baselines
+//   cayman_cli evaluate-all [budget] [--jobs N]
+//                                            all 28 workloads in parallel
 //   cayman_cli run <file.cir> [budget]       evaluate IR parsed from a file
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "cayman/driver.h"
 #include "cayman/framework.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "support/thread_pool.h"
 #include "workloads/workloads.h"
 
 using namespace cayman;
@@ -29,7 +34,32 @@ int usage() {
                "  wpst <workload>              print the profiled wPST\n"
                "  explore <workload> [budget]  print the Pareto frontier\n"
                "  evaluate <workload> [budget] evaluate vs baselines\n"
-               "  run <file.cir> [budget]      evaluate IR from a file\n");
+               "  evaluate-all [budget] [--jobs N]\n"
+               "                               evaluate all workloads in "
+               "parallel\n"
+               "  run <file.cir> [budget]      evaluate IR from a file\n"
+               "budgets are area ratios of a CVA6 tile in (0, 1], e.g. "
+               "0.25\n");
+  return 2;
+}
+
+/// Parses an area-budget ratio. Unlike atof, rejects trailing garbage and
+/// out-of-range values instead of silently evaluating at budget 0.
+bool parseBudget(const char* text, double* budget) {
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  if (!(value > 0.0) || value > 1.0) return false;  // !(>0) also catches NaN
+  *budget = value;
+  return true;
+}
+
+int badBudget(const char* text) {
+  std::fprintf(stderr,
+               "error: invalid budget '%s' — expected an area ratio in "
+               "(0, 1], e.g. 0.25\n",
+               text);
   return 2;
 }
 
@@ -107,6 +137,29 @@ int cmdExplore(const std::string& name, double budget) {
   return 0;
 }
 
+int cmdEvaluateAll(int argc, char** argv) {
+  double budget = 0.25;
+  unsigned jobs = ThreadPool::defaultWorkers();
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--jobs") {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      long value = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || value <= 0 || value > 1024) {
+        std::fprintf(stderr, "error: invalid --jobs '%s'\n", argv[i]);
+        return 2;
+      }
+      jobs = static_cast<unsigned>(value);
+    } else if (!parseBudget(arg.c_str(), &budget)) {
+      return badBudget(arg.c_str());
+    }
+  }
+  std::fputs(formatEvaluationTable(evaluateAll(budget, jobs)).c_str(),
+             stdout);
+  return 0;
+}
+
 int cmdRun(const std::string& path, double budget) {
   std::ifstream in(path);
   if (!in) {
@@ -125,9 +178,11 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
   try {
     if (command == "list") return cmdList();
+    if (command == "evaluate-all") return cmdEvaluateAll(argc, argv);
     if (argc < 3) return usage();
     std::string target = argv[2];
-    double budget = argc > 3 ? std::atof(argv[3]) : 0.25;
+    double budget = 0.25;
+    if (argc > 3 && !parseBudget(argv[3], &budget)) return badBudget(argv[3]);
     if (command == "ir") return cmdIr(target);
     if (command == "wpst") return cmdWpst(target);
     if (command == "explore") return cmdExplore(target, budget);
