@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 #include "support/thread_pool.h"
 #include "workloads/workloads.h"
@@ -11,12 +12,36 @@ namespace cayman {
 namespace {
 
 std::string formatLine(const char* format, ...) {
-  char buffer[256];
   va_list args;
   va_start(args, format);
-  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_list argsCopy;
+  va_copy(argsCopy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
   va_end(args);
-  return buffer;
+  if (needed < 0) {
+    va_end(argsCopy);
+    return {};
+  }
+  std::string line(static_cast<size_t>(needed), '\0');
+  // C++11 strings are contiguous with space for the terminating NUL at
+  // data()[size()].
+  std::vsnprintf(line.data(), static_cast<size_t>(needed) + 1, format,
+                 argsCopy);
+  va_end(argsCopy);
+  return line;
+}
+
+/// Parses CAYMAN_INJECT_FAULT=<workload>:<stage> and returns the stage to
+/// inject after iff the entry names this workload. Malformed values are
+/// ignored (fault injection is a test hook, not user input validation).
+std::optional<support::Stage> envInjectedFault(const std::string& workload) {
+  const char* spec = std::getenv("CAYMAN_INJECT_FAULT");
+  if (spec == nullptr) return std::nullopt;
+  std::string value(spec);
+  size_t colon = value.rfind(':');
+  if (colon == std::string::npos) return std::nullopt;
+  if (value.substr(0, colon) != workload) return std::nullopt;
+  return support::stageByName(value.substr(colon + 1));
 }
 
 }  // namespace
@@ -24,13 +49,57 @@ std::string formatLine(const char* format, ...) {
 WorkloadEvaluation evaluateWorkload(const std::string& name,
                                     double budgetRatio,
                                     const FrameworkOptions& options) {
-  const workloads::WorkloadInfo* info = workloads::byName(name);
-  CAYMAN_ASSERT(info != nullptr, "unknown workload: " + name);
   WorkloadEvaluation evaluation;
+  evaluation.name = name;
+  evaluation.report.budgetRatio = budgetRatio;
+
+  const workloads::WorkloadInfo* info = workloads::byName(name);
+  if (info == nullptr) {
+    evaluation.failure = support::Diagnostic{
+        support::Stage::Internal, name, "unknown workload"};
+    return evaluation;
+  }
   evaluation.name = info->name;
   evaluation.suite = info->suite;
-  Framework framework(workloads::build(name), options);
-  evaluation.report = framework.evaluate(budgetRatio);
+
+  FrameworkOptions taskOptions = options;
+  if (!taskOptions.failAfterStage.has_value()) {
+    taskOptions.failAfterStage = envInjectedFault(info->name);
+  }
+  // Per-workload deadline: each task gets its own token so one slow workload
+  // cannot consume a shared budget. The token lives on this frame, which
+  // outlives the Framework that polls it.
+  support::CancelToken deadline;
+  if (taskOptions.timeoutSeconds > 0.0) {
+    deadline.setTimeout(taskOptions.timeoutSeconds);
+    taskOptions.cancel = &deadline;
+  }
+
+  try {
+    std::unique_ptr<ir::Module> module;
+    try {
+      module = workloads::build(info->name);
+    } catch (const support::DiagnosticError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw support::DiagnosticError(
+          support::Diagnostic{support::Stage::Parse, info->name, e.what()});
+    }
+    if (taskOptions.failAfterStage == support::Stage::Parse) {
+      throw support::DiagnosticError(
+          support::Diagnostic{support::Stage::Parse, info->name,
+                              "injected fault (failAfterStage)"});
+    }
+    Framework framework(std::move(module), taskOptions);
+    evaluation.report = framework.evaluate(budgetRatio);
+  } catch (const support::DiagnosticError& e) {
+    evaluation.failure = e.diagnostic();
+    evaluation.report.budgetRatio = budgetRatio;
+  } catch (const std::exception& e) {
+    evaluation.failure = support::Diagnostic{
+        support::Stage::Internal, info->name, e.what()};
+    evaluation.report.budgetRatio = budgetRatio;
+  }
   return evaluation;
 }
 
@@ -44,14 +113,28 @@ std::vector<WorkloadEvaluation> evaluateWorkloads(
   });
 }
 
-std::vector<WorkloadEvaluation> evaluateAll(double budgetRatio,
-                                            unsigned jobs) {
+std::vector<WorkloadEvaluation> evaluateAll(double budgetRatio, unsigned jobs,
+                                            const FrameworkOptions& options) {
   std::vector<std::string> names;
   for (const auto& info : workloads::all()) names.push_back(info.name);
-  return evaluateWorkloads(names, budgetRatio, jobs);
+  return evaluateWorkloads(names, budgetRatio, jobs, options);
+}
+
+size_t countFailures(const std::vector<WorkloadEvaluation>& evaluations) {
+  size_t failures = 0;
+  for (const WorkloadEvaluation& evaluation : evaluations) {
+    if (!evaluation.ok()) ++failures;
+  }
+  return failures;
 }
 
 std::string formatEvaluationLine(const WorkloadEvaluation& evaluation) {
+  if (!evaluation.ok()) {
+    const support::Diagnostic& d = *evaluation.failure;
+    return formatLine("%-12s %-22s FAILED %s: %s", evaluation.suite.c_str(),
+                      evaluation.name.c_str(), support::stageName(d.stage),
+                      d.message.c_str());
+  }
   const EvaluationReport& r = evaluation.report;
   return formatLine(
       "%-12s %-22s %8.3fx over[21]=%8.3f over[23]=%8.3f "
@@ -70,18 +153,30 @@ std::string formatEvaluationTable(
                       100.0 * evaluations.front().report.budgetRatio,
                       evaluations.size());
   double overNovia = 0.0, overQs = 0.0, save = 0.0, speedup = 0.0;
+  size_t numOk = 0;
   for (const WorkloadEvaluation& evaluation : evaluations) {
     table += formatEvaluationLine(evaluation);
     table += '\n';
+    if (!evaluation.ok()) continue;
+    ++numOk;
     overNovia += evaluation.report.overNovia;
     overQs += evaluation.report.overQsCores;
     save += evaluation.report.areaSavingPercent;
     speedup += evaluation.report.caymanSpeedup;
   }
-  double n = static_cast<double>(evaluations.size());
-  table += formatLine("average: speedup=%8.3fx over[21]=%8.3f "
-                      "over[23]=%8.3f save=%6.2f%%\n",
-                      speedup / n, overNovia / n, overQs / n, save / n);
+  if (numOk > 0) {
+    double n = static_cast<double>(numOk);
+    table += formatLine("average: speedup=%8.3fx over[21]=%8.3f "
+                        "over[23]=%8.3f save=%6.2f%%\n",
+                        speedup / n, overNovia / n, overQs / n, save / n);
+  }
+  // The failure summary only appears when something failed, so clean-run
+  // output stays byte-identical to the historical format.
+  size_t failures = countFailures(evaluations);
+  if (failures > 0) {
+    table += formatLine("FAILED: %zu of %zu workloads\n", failures,
+                        evaluations.size());
+  }
   return table;
 }
 

@@ -6,23 +6,39 @@
 // of the formatted table, which deliberately omits wall-clock timings) is
 // bit-identical between jobs=1 and jobs=N runs — each task is a pure
 // function of (workload name, budget).
+//
+// Fault isolation contract: evaluateWorkload never throws. Every failure —
+// cayman::Error, std::bad_alloc, timeouts, injected faults — is caught
+// inside the task and returned as a per-workload Diagnostic, so one
+// misbehaving workload cannot abort the other rows of a sweep. Rows that
+// succeed render byte-identically whether or not a sibling failed.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cayman/framework.h"
+#include "support/status.h"
 
 namespace cayman {
 
-/// One evaluated workload: the registry entry plus its Table II row.
+/// One evaluated workload: the registry entry plus its Table II row, or the
+/// structured failure that prevented it.
 struct WorkloadEvaluation {
   std::string name;
   std::string suite;
   EvaluationReport report;
+  /// Set when the pipeline failed; `report` is then only partially filled.
+  std::optional<support::Diagnostic> failure;
+
+  bool ok() const { return !failure.has_value(); }
 };
 
-/// Builds, profiles, and evaluates one workload at `budgetRatio`.
+/// Builds, profiles, and evaluates one workload at `budgetRatio`. Never
+/// throws: failures (including `options.timeoutSeconds` deadline expiry and
+/// faults injected via `options.failAfterStage` or env
+/// CAYMAN_INJECT_FAULT=<workload>:<stage>) come back in `failure`.
 WorkloadEvaluation evaluateWorkload(const std::string& name,
                                     double budgetRatio,
                                     const FrameworkOptions& options = {});
@@ -35,13 +51,20 @@ std::vector<WorkloadEvaluation> evaluateWorkloads(
     const FrameworkOptions& options = {});
 
 /// Evaluates every registered workload (the paper's 28) at `budgetRatio`.
-std::vector<WorkloadEvaluation> evaluateAll(double budgetRatio, unsigned jobs);
+std::vector<WorkloadEvaluation> evaluateAll(double budgetRatio, unsigned jobs,
+                                            const FrameworkOptions& options = {});
+
+/// Number of failed rows (drives the CLI's non-zero exit).
+size_t countFailures(const std::vector<WorkloadEvaluation>& evaluations);
 
 /// Deterministic one-line rendering of one evaluation (no timing fields).
+/// Failed rows render as "<suite> <name> FAILED <stage>: <message>".
 std::string formatEvaluationLine(const WorkloadEvaluation& evaluation);
 
 /// Deterministic multi-line table: header, one line per workload, and an
-/// average row. Bit-identical across jobs counts by construction.
+/// average row over the successful workloads. Bit-identical across jobs
+/// counts by construction; identical to the historical format when no row
+/// failed.
 std::string formatEvaluationTable(
     const std::vector<WorkloadEvaluation>& evaluations);
 

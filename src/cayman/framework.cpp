@@ -4,34 +4,69 @@
 
 namespace cayman {
 
+namespace {
+
+/// Runs one pipeline stage with failure attribution: any escaping exception
+/// becomes a DiagnosticError carrying the stage and unit (already-attributed
+/// DiagnosticErrors — parse/verify diagnostics, cancellation — pass through
+/// untouched). After a successful stage this is also the fault-injection and
+/// cancellation checkpoint.
+template <typename Fn>
+void runStage(support::Stage stage, const std::string& unit,
+              const FrameworkOptions& options, Fn&& fn) {
+  try {
+    fn();
+  } catch (const support::DiagnosticError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw support::DiagnosticError(
+        support::Diagnostic{stage, unit, e.what()});
+  }
+  if (options.failAfterStage == stage) {
+    throw support::DiagnosticError(support::Diagnostic{
+        stage, unit, "injected fault (failAfterStage)"});
+  }
+  if (options.cancel != nullptr) options.cancel->check(stage, unit);
+}
+
+}  // namespace
+
 Framework::Framework(std::unique_ptr<ir::Module> module,
                      FrameworkOptions options)
     : options_(options),
       module_(std::move(module)),
       tech_(hls::TechLibrary::nangate45()) {
   CAYMAN_ASSERT(module_ != nullptr, "Framework requires a module");
-  ir::verifyOrThrow(*module_);
+  const std::string unit = module_->name();
+
+  runStage(support::Stage::Verify, unit, options_,
+           [&] { ir::verifyOrThrow(*module_); });
 
   // Fig. 1 pipeline: wPST construction, profiling, program analysis.
-  wpst_ = std::make_unique<analysis::WPst>(*module_);
-  interpreter_ = std::make_unique<sim::Interpreter>(*module_);
-  sim::Interpreter::Result run = interpreter_->run();
-  profile_ = std::make_unique<sim::ProfileData>(*wpst_, run,
-                                                interpreter_->costModel());
+  runStage(support::Stage::Analyze, unit, options_,
+           [&] { wpst_ = std::make_unique<analysis::WPst>(*module_); });
 
-  accel::ModelParams params;
-  params.clockNs = options_.accelClockNs;
-  params.beta = options_.beta;
-  params.allowDecoupled = !options_.coupledOnly;
-  params.allowScratchpad = !options_.coupledOnly;
-  model_ = std::make_unique<accel::AcceleratorModel>(
-      *wpst_, *profile_, tech_, hls::InterfaceTiming{}, params);
+  runStage(support::Stage::Profile, unit, options_, [&] {
+    interpreter_ = std::make_unique<sim::Interpreter>(*module_);
+    interpreter_->setCancelToken(options_.cancel);
+    sim::Interpreter::Result run = interpreter_->run();
+    profile_ = std::make_unique<sim::ProfileData>(*wpst_, run,
+                                                  interpreter_->costModel());
 
-  novia_ = std::make_unique<baselines::NoviaFlow>(
-      *wpst_, *profile_, tech_, interpreter_->costModel(),
-      options_.cpuClockNs);
-  qscores_ =
-      std::make_unique<baselines::QsCoresFlow>(*wpst_, *profile_, tech_);
+    accel::ModelParams params;
+    params.clockNs = options_.accelClockNs;
+    params.beta = options_.beta;
+    params.allowDecoupled = !options_.coupledOnly;
+    params.allowScratchpad = !options_.coupledOnly;
+    model_ = std::make_unique<accel::AcceleratorModel>(
+        *wpst_, *profile_, tech_, hls::InterfaceTiming{}, params);
+
+    novia_ = std::make_unique<baselines::NoviaFlow>(
+        *wpst_, *profile_, tech_, interpreter_->costModel(),
+        options_.cpuClockNs);
+    qscores_ =
+        std::make_unique<baselines::QsCoresFlow>(*wpst_, *profile_, tech_);
+  });
 }
 
 select::SelectorParams Framework::selectorParams(double budgetRatio) const {
@@ -40,6 +75,7 @@ select::SelectorParams Framework::selectorParams(double budgetRatio) const {
   params.alpha = options_.alpha;
   params.pruneHotFraction = options_.pruneHotFraction;
   params.clockRatio = options_.clockRatio();
+  params.cancel = options_.cancel;
   return params;
 }
 
@@ -64,10 +100,13 @@ merge::MergeResult Framework::mergeSolution(
 EvaluationReport Framework::evaluate(double budgetRatio) const {
   EvaluationReport report;
   report.budgetRatio = budgetRatio;
+  const std::string& unit = module_->name();
 
   auto start = std::chrono::steady_clock::now();
-  report.solution = best(budgetRatio);
-  report.merging = mergeSolution(report.solution);
+  runStage(support::Stage::Select, unit, options_,
+           [&] { report.solution = best(budgetRatio); });
+  runStage(support::Stage::Merge, unit, options_,
+           [&] { report.merging = mergeSolution(report.solution); });
   report.selectionSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -76,12 +115,14 @@ EvaluationReport Framework::evaluate(double budgetRatio) const {
   double ratio = options_.clockRatio();
   report.caymanSpeedup = report.solution.speedup(tAll, ratio);
 
-  baselines::NoviaFlow::Point noviaBest =
-      novia_->best(budgetUm2(budgetRatio));
-  report.noviaSpeedup = noviaBest.speedup(tAll);
-  select::Solution qscoresBest =
-      qscores_->best(budgetUm2(budgetRatio), ratio);
-  report.qscoresSpeedup = qscoresBest.speedup(tAll, ratio);
+  runStage(support::Stage::Select, unit, options_, [&] {
+    baselines::NoviaFlow::Point noviaBest =
+        novia_->best(budgetUm2(budgetRatio));
+    report.noviaSpeedup = noviaBest.speedup(tAll);
+    select::Solution qscoresBest =
+        qscores_->best(budgetUm2(budgetRatio), ratio);
+    report.qscoresSpeedup = qscoresBest.speedup(tAll, ratio);
+  });
 
   report.overNovia = report.caymanSpeedup / report.noviaSpeedup;
   report.overQsCores = report.caymanSpeedup / report.qscoresSpeedup;

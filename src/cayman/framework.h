@@ -10,11 +10,14 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 
 #include "baselines/novia.h"
 #include "baselines/qscores.h"
 #include "merge/merger.h"
 #include "select/selector.h"
+#include "support/cancellation.h"
+#include "support/status.h"
 
 namespace cayman {
 
@@ -33,6 +36,18 @@ struct FrameworkOptions {
   double pruneHotFraction = 5e-4;
   /// Disable decoupled/scratchpad interfaces (Fig. 6's "coupled-only").
   bool coupledOnly = false;
+
+  /// Per-workload wall-clock deadline in seconds (<= 0 disables). Policy
+  /// knob only: the driver converts it into a CancelToken deadline; the
+  /// Framework itself consumes `cancel`.
+  double timeoutSeconds = 0.0;
+  /// Cooperative cancellation token, polled by the interpreter step loop and
+  /// the selector DP. Must outlive the Framework; nullptr disables.
+  const support::CancelToken* cancel = nullptr;
+  /// Deterministic fault injection for testing fault isolation: throw a
+  /// DiagnosticError right after this pipeline stage completes. The driver
+  /// also honours env CAYMAN_INJECT_FAULT=<workload>:<stage>.
+  std::optional<support::Stage> failAfterStage;
 
   double clockRatio() const { return accelClockNs / cpuClockNs; }
 };

@@ -1,5 +1,7 @@
 #include "ir/module.h"
 
+#include <cstring>
+
 namespace cayman::ir {
 
 Module::~Module() {
@@ -65,7 +67,10 @@ ConstantInt* Module::constInt(const Type* type, int64_t value) {
 }
 
 ConstantFP* Module::constFP(const Type* type, double value) {
-  auto key = std::make_pair(type, value);
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  auto key = std::make_pair(type, bits);
   auto it = fpConstants_.find(key);
   if (it == fpConstants_.end()) {
     it = fpConstants_.emplace(key, std::make_unique<ConstantFP>(type, value))

@@ -53,7 +53,10 @@ class Module {
   std::vector<std::unique_ptr<GlobalArray>> globals_;
   std::map<std::pair<const Type*, int64_t>, std::unique_ptr<ConstantInt>>
       intConstants_;
-  std::map<std::pair<const Type*, double>, std::unique_ptr<ConstantFP>>
+  // Keyed by bit pattern, not double: NaN breaks std::map's strict weak
+  // ordering (NaN compares equivalent to everything), so a NaN literal from
+  // parsed input could alias an unrelated interned constant.
+  std::map<std::pair<const Type*, uint64_t>, std::unique_ptr<ConstantFP>>
       fpConstants_;
 };
 

@@ -1,6 +1,7 @@
 #include "ir/parser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 #include <optional>
@@ -13,19 +14,28 @@ namespace cayman::ir {
 
 namespace {
 
+using support::Diagnostic;
+using support::DiagnosticError;
+using support::Stage;
+
 bool isNameChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '_' ||
          c == '-';
 }
 
-/// Character cursor over one line with error reporting.
+/// Character cursor over one line with error reporting. `colBase` is the
+/// number of characters trimmed off the front of the raw line, so reported
+/// columns are 1-based positions in the original input.
 class Cursor {
  public:
-  Cursor(std::string_view text, int lineNo) : text_(text), lineNo_(lineNo) {}
+  Cursor(std::string_view text, int lineNo, int colBase)
+      : text_(text), lineNo_(lineNo), colBase_(colBase) {}
 
   [[noreturn]] void fail(const std::string& message) const {
-    throw Error("IR parse error at line " + std::to_string(lineNo_) + ": " +
-                message + " (near '" + std::string(rest()) + "')");
+    std::string near(rest().substr(0, 40));
+    throw DiagnosticError(Diagnostic{
+        Stage::Parse, "", message + " (near '" + near + "')", lineNo_,
+        colBase_ + static_cast<int>(pos_) + 1});
   }
 
   void skipSpace() {
@@ -83,6 +93,20 @@ class Cursor {
     return std::string(text_.substr(start, pos_ - start));
   }
 
+  /// Reads an unsigned decimal integer, rejecting signs, trailing garbage
+  /// and out-of-range values (strtoull silently wraps "-1" to 2^64-1).
+  uint64_t unsignedInt(const std::string& what) {
+    std::string text = number();
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0])) ||
+        end != text.c_str() + text.size() || errno == ERANGE) {
+      fail("invalid " + what + " '" + text + "'");
+    }
+    return value;
+  }
+
   std::string_view rest() const { return text_.substr(pos_); }
 
   int line() const { return lineNo_; }
@@ -91,6 +115,7 @@ class Cursor {
   std::string_view text_;
   size_t pos_ = 0;
   int lineNo_;
+  int colBase_;
 };
 
 struct PendingRef {
@@ -102,9 +127,14 @@ struct PendingRef {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) {
-    for (std::string_view line : split(text, '\n')) {
-      lines_.push_back(trim(line));
+  Parser(const std::string& text, const ParserLimits& limits)
+      : limits_(limits) {
+    for (std::string_view raw : split(text, '\n')) {
+      std::string_view trimmed = trim(raw);
+      lines_.push_back(trimmed);
+      colBases_.push_back(trimmed.empty()
+                              ? 0
+                              : static_cast<int>(trimmed.data() - raw.data()));
     }
   }
 
@@ -136,19 +166,34 @@ class Parser {
         c.fail("expected 'global', 'func' or '}'");
       }
     }
+    // Anything after the closing brace is hostile or corrupt input, not a
+    // module — reject it so print -> parse -> print reaches a fixpoint.
+    while (pos_ < lines_.size()) {
+      if (!lines_[pos_].empty()) {
+        cursorAt(pos_).fail("trailing content after module close");
+      }
+      ++pos_;
+    }
     return std::move(module_);
   }
 
  private:
   Cursor cursorAt(size_t index) const {
-    return Cursor(lines_[index], static_cast<int>(index) + 1);
+    return Cursor(lines_[index], static_cast<int>(index) + 1,
+                  colBases_[index]);
+  }
+
+  [[noreturn]] void failAt(size_t lineIndex, const std::string& message) const {
+    throw DiagnosticError(Diagnostic{Stage::Parse, "", message,
+                                     static_cast<int>(lineIndex) + 1, 0});
   }
 
   /// Advances to the next non-empty line and returns its index.
   size_t next(const std::string& context) {
     while (pos_ < lines_.size() && lines_[pos_].empty()) ++pos_;
     if (pos_ >= lines_.size()) {
-      throw Error("IR parse error: unexpected end of input in " + context);
+      failAt(lines_.empty() ? 0 : lines_.size() - 1,
+             "unexpected end of input in " + context);
     }
     return pos_++;
   }
@@ -163,23 +208,47 @@ class Parser {
   void parseGlobal(Cursor& c) {
     c.expect("@");
     std::string name = c.word();
+    if (module_->globalByName(name) != nullptr) {
+      c.fail("duplicate global @" + name);
+    }
     c.expect(":");
     const Type* elemType = parseType(c);
+    if (elemType->isVoid()) c.fail("global @" + name + " of void type");
     c.expect("[");
-    uint64_t numElems = std::strtoull(c.number().c_str(), nullptr, 10);
+    uint64_t numElems = c.unsignedInt("array size");
+    if (numElems > limits_.maxGlobalElems) {
+      c.fail("global @" + name + " exceeds the element limit (" +
+             std::to_string(numElems) + " > " +
+             std::to_string(limits_.maxGlobalElems) + ")");
+    }
     c.expect("]");
+    // Element count is capped, so the byte product cannot overflow.
+    totalGlobalBytes_ += numElems * elemType->sizeBytes();
+    if (totalGlobalBytes_ > limits_.maxTotalGlobalBytes) {
+      c.fail("global arrays exceed the total size limit (" +
+             std::to_string(limits_.maxTotalGlobalBytes) + " bytes)");
+    }
     GlobalArray* global =
         module_->addGlobal(std::move(name), elemType, numElems);
     if (c.tryConsume("=")) {
       c.expect("[");
       std::vector<double> init;
-      init.reserve(numElems);
+      init.reserve(static_cast<size_t>(numElems));
       if (!c.tryConsume("]")) {
         while (true) {
+          if (init.size() >= numElems) {
+            c.fail("initializer for @" + global->name() + " has more than " +
+                   std::to_string(numElems) + " elements");
+          }
           init.push_back(std::strtod(c.number().c_str(), nullptr));
           if (c.tryConsume("]")) break;
           c.expect(",");
         }
+      }
+      if (init.size() != numElems) {
+        c.fail("initializer for @" + global->name() + " has " +
+               std::to_string(init.size()) + " elements, expected " +
+               std::to_string(numElems));
       }
       global->setInit(std::move(init));
     }
@@ -191,10 +260,21 @@ class Parser {
       if (!c.tryConsume("func")) continue;
       c.expect("@");
       std::string name = c.word();
+      if (module_->functionByName(name) != nullptr) {
+        c.fail("duplicate function @" + name);
+      }
+      if (module_->functions().size() >= limits_.maxFunctions) {
+        c.fail("function count exceeds the limit (" +
+               std::to_string(limits_.maxFunctions) + ")");
+      }
       c.expect("(");
       std::vector<std::pair<const Type*, std::string>> params;
       if (!c.tryConsume(")")) {
         while (true) {
+          if (params.size() >= limits_.maxParams) {
+            c.fail("parameter count exceeds the limit (" +
+                   std::to_string(limits_.maxParams) + ")");
+          }
           c.expect("%");
           std::string paramName = c.word();
           c.expect(":");
@@ -215,6 +295,9 @@ class Parser {
     sig.expect("@");
     Function* function = module_->functionByName(sig.word());
     CAYMAN_ASSERT(function != nullptr, "function missed by pre-scan");
+    if (!function->blocks().empty()) {
+      sig.fail("function @" + function->name() + " defined twice");
+    }
 
     values_.clear();
     pending_.clear();
@@ -226,10 +309,11 @@ class Parser {
     // First pass: collect block labels and result types for forward refs.
     std::map<std::string, const Type*> resultTypes;
     std::vector<size_t> bodyLines;
+    size_t numInstructions = 0;
     for (size_t i = pos_;; ++i) {
       if (i >= lines_.size()) {
-        throw Error("IR parse error: function @" + function->name() +
-                    " not terminated by '}'");
+        failAt(lines_.size() - 1, "function @" + function->name() +
+                                      " not terminated by '}'");
       }
       std::string_view line = lines_[i];
       if (line.empty()) continue;
@@ -239,13 +323,28 @@ class Parser {
         break;
       }
       if (line.back() == ':') {
-        function->addBlock(std::string(line.substr(0, line.size() - 1)));
-      } else if (line[0] == '%') {
-        Cursor c = cursorAt(i);
-        c.expect("%");
-        std::string name = c.word();
-        c.expect("=");
-        resultTypes[name] = scanResultType(c, function);
+        std::string label(line.substr(0, line.size() - 1));
+        if (function->blockByName(label) != nullptr) {
+          cursorAt(i).fail("duplicate block label '" + label + "'");
+        }
+        if (function->blocks().size() >= limits_.maxBlocksPerFunction) {
+          cursorAt(i).fail("block count exceeds the limit (" +
+                           std::to_string(limits_.maxBlocksPerFunction) + ")");
+        }
+        function->addBlock(std::move(label));
+      } else {
+        if (++numInstructions > limits_.maxInstructionsPerFunction) {
+          cursorAt(i).fail(
+              "instruction count exceeds the limit (" +
+              std::to_string(limits_.maxInstructionsPerFunction) + ")");
+        }
+        if (line[0] == '%') {
+          Cursor c = cursorAt(i);
+          c.expect("%");
+          std::string name = c.word();
+          c.expect("=");
+          resultTypes[name] = scanResultType(c, function);
+        }
       }
     }
 
@@ -267,8 +366,9 @@ class Parser {
     for (const PendingRef& ref : pending_) {
       auto it = values_.find(ref.name);
       if (it == values_.end()) {
-        throw Error("IR parse error at line " + std::to_string(ref.line) +
-                    ": undefined value %" + ref.name);
+        throw DiagnosticError(Diagnostic{Stage::Parse, "",
+                                         "undefined value %" + ref.name,
+                                         ref.line, 0});
       }
       ref.user->setOperand(ref.operandIndex, it->second);
     }
@@ -353,6 +453,9 @@ class Parser {
     if (c.tryConsume("%")) {
       resultName = c.word();
       c.expect("=");
+      if (values_.count(resultName) != 0) {
+        c.fail("redefinition of %" + resultName);
+      }
     }
     std::string op = c.word();
     std::vector<std::pair<size_t, std::string>> fixups;
@@ -405,17 +508,21 @@ class Parser {
       Value* index = parseOperand(c, Type::i64(), nullptr, &fixups, 1);
       c.expect(",");
       c.expect("elem");
-      unsigned elemSize =
-          static_cast<unsigned>(std::strtoul(c.number().c_str(), nullptr, 10));
+      uint64_t elemSize = c.unsignedInt("gep element size");
+      if (elemSize == 0 || elemSize > 64) {
+        c.fail("gep element size " + std::to_string(elemSize) +
+               " out of range [1, 64]");
+      }
       auto inst = std::make_unique<Instruction>(
           Opcode::Gep, Type::ptr(), std::vector<Value*>{base, index}, "");
-      inst->setGepElemSize(elemSize);
+      inst->setGepElemSize(static_cast<unsigned>(elemSize));
       finish(std::move(inst));
       return;
     }
 
     if (op == "load") {
       const Type* type = parseType(c);
+      if (type->isVoid()) c.fail("load of void type");
       c.expect(",");
       Value* ptr = parseOperand(c, Type::ptr(), nullptr, &fixups, 0);
       finish(std::make_unique<Instruction>(Opcode::Load, type,
@@ -425,6 +532,7 @@ class Parser {
 
     if (op == "store") {
       const Type* type = parseType(c);
+      if (type->isVoid()) c.fail("store of void type");
       Value* value = parseOperand(c, type, nullptr, &fixups, 0);
       c.expect(",");
       Value* ptr = parseOperand(c, Type::ptr(), nullptr, &fixups, 1);
@@ -458,6 +566,7 @@ class Parser {
 
     if (op == "phi") {
       const Type* type = parseType(c);
+      if (type->isVoid()) c.fail("phi of void type");
       auto inst = std::make_unique<Instruction>(Opcode::Phi, type,
                                                 std::vector<Value*>{}, "");
       Instruction* raw = finish(std::move(inst));
@@ -487,12 +596,21 @@ class Parser {
       std::vector<Value*> args;
       if (!c.tryConsume(")")) {
         while (true) {
+          if (args.size() >= callee->numArguments()) {
+            c.fail("too many arguments to @" + callee->name() + " (expected " +
+                   std::to_string(callee->numArguments()) + ")");
+          }
           const Type* argType = callee->argument(args.size())->type();
           args.push_back(
               parseOperand(c, argType, nullptr, &fixups, args.size()));
           if (c.tryConsume(")")) break;
           c.expect(",");
         }
+      }
+      if (args.size() != callee->numArguments()) {
+        c.fail("call to @" + callee->name() + " passes " +
+               std::to_string(args.size()) + " argument(s), expected " +
+               std::to_string(callee->numArguments()));
       }
       auto inst = std::make_unique<Instruction>(
           Opcode::Call, callee->returnType(), std::move(args), "");
@@ -546,6 +664,7 @@ class Parser {
     if (it == kGeneric.end()) c.fail("unknown opcode '" + op + "'");
     auto [opcode, arity] = it->second;
     const Type* type = parseType(c);
+    if (type->isVoid()) c.fail("'" + op + "' of void type");
     std::vector<Value*> operands;
     for (int i = 0; i < arity; ++i) {
       if (i > 0) c.expect(",");
@@ -558,8 +677,11 @@ class Parser {
                                          ""));
   }
 
+  ParserLimits limits_;
   std::vector<std::string_view> lines_;
+  std::vector<int> colBases_;
   size_t pos_ = 0;
+  uint64_t totalGlobalBytes_ = 0;
   // Placeholders must outlive the module: on error paths instructions may
   // still reference them, and Module teardown unregisters those uses.
   std::vector<std::unique_ptr<Value>> placeholders_;
@@ -570,8 +692,26 @@ class Parser {
 
 }  // namespace
 
-std::unique_ptr<Module> parseModule(const std::string& text) {
-  return Parser(text).run();
+std::unique_ptr<Module> parseModule(const std::string& text,
+                                    const ParserLimits& limits) {
+  if (text.size() > limits.maxInputBytes) {
+    throw DiagnosticError(Diagnostic{
+        Stage::Parse, "",
+        "input exceeds the size limit (" + std::to_string(text.size()) +
+            " > " + std::to_string(limits.maxInputBytes) + " bytes)"});
+  }
+  return Parser(text, limits).run();
+}
+
+support::Expected<std::unique_ptr<Module>> parseModuleExpected(
+    const std::string& text, const ParserLimits& limits) {
+  try {
+    return parseModule(text, limits);
+  } catch (const DiagnosticError& e) {
+    return e.diagnostic();
+  } catch (const Error& e) {
+    return Diagnostic{Stage::Parse, "", e.what()};
+  }
 }
 
 }  // namespace cayman::ir

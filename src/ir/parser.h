@@ -1,16 +1,50 @@
 // Parser for the textual IR emitted by printer.h. Round-trip guarantee:
 // parse(printModule(m)) reproduces an isomorphic module.
+//
+// The parser is an untrusted-input boundary (`cayman_cli run <file.cir>`,
+// the fuzz harness): every failure is a structured DiagnosticError with a
+// 1-based line:col position, and ParserLimits caps input size, global-array
+// footprint, and per-function shape so hostile text is rejected with a
+// diagnostic instead of exhausting memory.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "ir/module.h"
+#include "support/status.h"
 
 namespace cayman::ir {
 
-/// Parses a module from text; throws cayman::Error with line information on
-/// syntax or semantic errors.
-std::unique_ptr<Module> parseModule(const std::string& text);
+/// Resource caps applied while parsing untrusted text. The defaults are two
+/// orders of magnitude above anything the built-in workloads need while
+/// keeping worst-case memory for a hostile input bounded to tens of MB.
+struct ParserLimits {
+  /// Whole-input size in bytes.
+  size_t maxInputBytes = 16u << 20;
+  /// Elements in one global array.
+  uint64_t maxGlobalElems = 1u << 22;
+  /// Summed byte footprint of all global arrays (what SimMemory allocates).
+  uint64_t maxTotalGlobalBytes = 64u << 20;
+  /// Functions per module.
+  size_t maxFunctions = 1u << 10;
+  /// Blocks per function.
+  size_t maxBlocksPerFunction = 1u << 16;
+  /// Instructions per function.
+  size_t maxInstructionsPerFunction = 1u << 20;
+  /// Parameters per function / arguments per call.
+  size_t maxParams = 256;
+};
+
+/// Parses a module from text; throws support::DiagnosticError (a subclass of
+/// cayman::Error) with stage=Parse and line:col on syntax, semantic, or
+/// resource-limit errors.
+std::unique_ptr<Module> parseModule(const std::string& text,
+                                    const ParserLimits& limits = {});
+
+/// Exception-free wrapper: the parsed module or the parse Diagnostic.
+support::Expected<std::unique_ptr<Module>> parseModuleExpected(
+    const std::string& text, const ParserLimits& limits = {});
 
 }  // namespace cayman::ir

@@ -4,21 +4,34 @@
 #include <set>
 #include <sstream>
 
+#include "support/status.h"
+
 namespace cayman::ir {
 
 namespace {
+
+/// Untrusted input can produce arbitrarily many violations; cap the report
+/// so verification stays linear in module size.
+constexpr size_t kMaxErrors = 64;
 
 class Verifier {
  public:
   explicit Verifier(const Module& module) : module_(module) {}
 
   std::vector<std::string> run() {
-    for (const auto& function : module_.functions()) check(*function);
+    for (const auto& function : module_.functions()) {
+      if (errors_.size() >= kMaxErrors) {
+        errors_.push_back("(further errors suppressed)");
+        break;
+      }
+      check(*function);
+    }
     return std::move(errors_);
   }
 
  private:
   void error(const Function& f, const std::string& message) {
+    if (errors_.size() >= kMaxErrors) return;
     errors_.push_back("in @" + f.name() + ": " + message);
   }
 
@@ -101,7 +114,76 @@ class Verifier {
         if (inst.opcode() == Opcode::Gep && inst.gepElemSize() == 0) {
           error(f, "gep with zero element size in " + block->name());
         }
+        checkStructure(f, *block, inst);
       }
+    }
+  }
+
+  /// Shape checks that downstream consumers (interpreter, decoder, HLS)
+  /// assume without re-validating: successor/operand arity per opcode, call
+  /// signature agreement, i1 branch conditions.
+  void checkStructure(const Function& f, const BasicBlock& block,
+                      const Instruction& inst) {
+    auto wantSuccessors = [&](size_t n) {
+      if (inst.successors().size() != n) {
+        error(f, "terminator in " + block.name() + " has " +
+                     std::to_string(inst.successors().size()) +
+                     " successor(s), expected " + std::to_string(n));
+      }
+    };
+    auto wantOperands = [&](size_t n, const char* what) {
+      if (inst.numOperands() != n) {
+        error(f, std::string(what) + " in " + block.name() + " has " +
+                     std::to_string(inst.numOperands()) +
+                     " operand(s), expected " + std::to_string(n));
+        return false;
+      }
+      return true;
+    };
+    switch (inst.opcode()) {
+      case Opcode::Br:
+        wantSuccessors(1);
+        break;
+      case Opcode::CondBr:
+        wantSuccessors(2);
+        if (wantOperands(1, "condbr") &&
+            inst.operand(0)->type() != Type::i1()) {
+          error(f, "condbr condition in " + block.name() + " is not i1");
+        }
+        break;
+      case Opcode::Load:
+        wantOperands(1, "load");
+        break;
+      case Opcode::Store:
+        wantOperands(2, "store");
+        break;
+      case Opcode::Call: {
+        const Function* callee = inst.callee();
+        if (callee == nullptr) {
+          error(f, "call without callee in " + block.name());
+          break;
+        }
+        if (inst.numOperands() != callee->numArguments()) {
+          error(f, "call to @" + callee->name() + " in " + block.name() +
+                       " passes " + std::to_string(inst.numOperands()) +
+                       " argument(s), expected " +
+                       std::to_string(callee->numArguments()));
+          break;
+        }
+        for (size_t i = 0; i < inst.numOperands(); ++i) {
+          if (inst.operand(i)->type() != callee->argument(i)->type()) {
+            error(f, "call to @" + callee->name() + " in " + block.name() +
+                         " argument " + std::to_string(i) +
+                         " type mismatch");
+          }
+        }
+        break;
+      }
+      default:
+        if (!inst.isTerminator() && !inst.successors().empty()) {
+          error(f, "non-terminator with successors in " + block.name());
+        }
+        break;
     }
   }
 
@@ -135,7 +217,8 @@ void verifyOrThrow(const Module& module) {
   std::ostringstream os;
   os << "module " << module.name() << " failed verification:";
   for (const std::string& e : errors) os << "\n  " << e;
-  throw Error(os.str());
+  throw support::DiagnosticError(support::Diagnostic{
+      support::Stage::Verify, module.name(), os.str()});
 }
 
 }  // namespace cayman::ir

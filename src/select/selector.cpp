@@ -8,6 +8,9 @@ using analysis::RegionKind;
 std::vector<Solution> CandidateSelector::dp(const Region* region,
                                             Stats& stats) const {
   ++stats.regionsVisited;
+  if (params_.cancel != nullptr) {
+    params_.cancel->check(support::Stage::Select, region->label());
+  }
 
   // prune(v, R): regions that are not hotspots cannot pay for themselves —
   // skip the whole subtree (their descendants are at most as hot). Root and

@@ -5,6 +5,7 @@
 
 #include "accel/model.h"
 #include "select/pareto.h"
+#include "support/cancellation.h"
 
 namespace cayman::select {
 
@@ -19,6 +20,10 @@ struct SelectorParams {
   /// cycle units). 1.25 = 500 MHz accelerators beside a 625 MHz CVA6 on the
   /// same 45nm node.
   double clockRatio = 1.25;
+  /// Optional cooperative cancellation: the DP polls this once per region
+  /// visit and aborts with support::CancelledError when expired. Must
+  /// outlive the selector run; nullptr disables the checks.
+  const support::CancelToken* cancel = nullptr;
 };
 
 class CandidateSelector {

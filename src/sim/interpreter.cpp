@@ -72,6 +72,7 @@ Interpreter::Result Interpreter::runFunction(const ir::Function& function,
     slots[i] = slot;
   }
   executed_ = 0;
+  cancelTick_ = 0;
   Slot returnValue;
   if (mode_ == ExecMode::Decoded) {
     returnValue =
@@ -173,6 +174,12 @@ bool compareFloat(ir::CmpPred pred, double a, double b) {
   return false;
 }
 
+[[noreturn]] void throwInstructionLimit(const std::string& functionName,
+                                        uint64_t limit) {
+  throw Error("instruction limit exceeded in " + functionName + " (" +
+              std::to_string(limit) + " dynamic instructions)");
+}
+
 }  // namespace
 
 Slot Interpreter::execDecoded(DecodedEntry& entry, std::vector<Slot> args,
@@ -198,8 +205,12 @@ Slot Interpreter::execDecoded(DecodedEntry& entry, std::vector<Slot> args,
         result.totalCycles += df.blockCost[id];
         result.instructions += df.blockSize[id];
         executed_ += df.blockSize[id];
-        CAYMAN_ASSERT(executed_ <= instructionLimit_,
-                      "instruction limit exceeded in " + df.source->name());
+        if (executed_ > instructionLimit_) {
+          throwInstructionLimit(df.source->name(), instructionLimit_);
+        }
+        if (cancel_ != nullptr && (++cancelTick_ & 0x3FF) == 0) {
+          cancel_->check(support::Stage::Profile, df.source->name());
+        }
         ++pc;
         break;
       }
@@ -473,8 +484,12 @@ Slot Interpreter::execReference(const ir::Function& function,
     result.totalCycles += blockCost_.at(block);
     result.instructions += block->size();
     executed_ += block->size();
-    CAYMAN_ASSERT(executed_ <= instructionLimit_,
-                  "instruction limit exceeded in " + function.name());
+    if (executed_ > instructionLimit_) {
+      throwInstructionLimit(function.name(), instructionLimit_);
+    }
+    if (cancel_ != nullptr && (++cancelTick_ & 0x3FF) == 0) {
+      cancel_->check(support::Stage::Profile, function.name());
+    }
 
     // Phase 1: evaluate all phis against the incoming edge, then commit,
     // so mutually-referencing phis see pre-transfer values.

@@ -16,6 +16,7 @@
 #include "sim/cpu_model.h"
 #include "sim/decoder.h"
 #include "sim/memory.h"
+#include "support/cancellation.h"
 
 namespace cayman::sim {
 
@@ -55,7 +56,16 @@ class Interpreter {
   const CpuCostModel& costModel() const { return model_; }
 
   /// Abort execution after this many dynamic instructions (runaway guard).
+  /// Tripping the limit throws a catchable cayman::Error; SimMemory stays
+  /// valid and is reset on the next run.
   void setInstructionLimit(uint64_t limit) { instructionLimit_ = limit; }
+  uint64_t instructionLimit() const { return instructionLimit_; }
+
+  /// Cooperative cancellation: when set, the step loop polls the token at
+  /// block granularity (rate-limited to every ~1k blocks so the steady-clock
+  /// read stays off the hot path) and aborts with support::CancelledError.
+  /// The token must outlive every run. Pass nullptr to detach.
+  void setCancelToken(const support::CancelToken* token) { cancel_ = token; }
 
   struct DecodeStats {
     size_t functions = 0;
@@ -96,6 +106,8 @@ class Interpreter {
   std::unordered_map<const ir::BasicBlock*, double> blockCost_;
   uint64_t instructionLimit_ = 2'000'000'000;
   uint64_t executed_ = 0;
+  const support::CancelToken* cancel_ = nullptr;
+  uint64_t cancelTick_ = 0;
 };
 
 }  // namespace cayman::sim

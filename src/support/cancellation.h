@@ -1,0 +1,62 @@
+// Cooperative cancellation for long-running pipeline stages.
+//
+// A CancelToken is a shared flag plus an optional wall-clock deadline. Hot
+// loops (the interpreter's block dispatch, the selector's DP) poll it at a
+// coarse granularity and bail out with a catchable CancelledError instead of
+// hanging a whole sweep. Polling never blocks and the flag path is a single
+// relaxed atomic load; the deadline path additionally reads the steady clock,
+// so tight loops should rate-limit calls (see Interpreter's check counter).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "support/status.h"
+
+namespace cayman::support {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms a wall-clock deadline `seconds` from now (<= 0 disarms).
+  void setTimeout(double seconds) {
+    if (seconds > 0.0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(seconds));
+    } else {
+      deadline_.reset();
+    }
+  }
+
+  /// Requests cancellation from any thread.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancelled or past the deadline (reads the clock when armed).
+  bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return deadline_.has_value() &&
+           std::chrono::steady_clock::now() >= *deadline_;
+  }
+
+  /// Checkpoint: throws CancelledError attributed to `stage`/`unit` when
+  /// expired, otherwise returns immediately.
+  void check(Stage stage, const std::string& unit = std::string()) const {
+    if (!expired()) return;
+    throw CancelledError(Diagnostic{
+        stage, unit,
+        deadline_.has_value() ? "timeout: wall-clock deadline exceeded"
+                              : "cancelled"});
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+};
+
+}  // namespace cayman::support

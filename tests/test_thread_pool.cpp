@@ -101,6 +101,56 @@ TEST(ThreadPoolTest, ConcurrentSubmittersStress) {
   EXPECT_EQ(total.load(), 4LL * 100 * 101 / 2);
 }
 
+TEST(ThreadPoolTest, ParallelIndexMapSurfacesFirstErrorByIndex) {
+  ThreadPool pool(4);
+  // Several indices fail; parallelIndexMap collects futures in index order,
+  // so the caller must see index 3's error, never index 7's, regardless of
+  // which worker throws first in wall-clock time.
+  try {
+    parallelIndexMap(pool, 16, [](size_t i) -> int {
+      if (i == 3) throw Error("boom at 3");
+      if (i == 7) throw Error("boom at 7");
+      return static_cast<int>(i);
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "boom at 3");
+  }
+  // Abandoned sibling futures (including the other throwing one) must not
+  // deadlock or poison the pool.
+  EXPECT_EQ(pool.submit([] { return 11; }).get(), 11);
+}
+
+TEST(ThreadPoolTest, EveryTaskThrowingDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([]() -> int { throw Error("always"); }));
+  }
+  int caught = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const Error&) {
+      ++caught;
+    }
+  }
+  EXPECT_EQ(caught, 64);
+  EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> future = pool.submit([]() -> int { throw 42; });
+  try {
+    future.get();
+    FAIL() << "expected int exception";
+  } catch (int value) {
+    EXPECT_EQ(value, 42);
+  }
+  EXPECT_EQ(pool.submit([] { return 6; }).get(), 6);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
   std::atomic<int> ran{0};
   std::vector<std::future<void>> futures;

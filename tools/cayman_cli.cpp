@@ -34,13 +34,27 @@ int usage() {
                "  wpst <workload>              print the profiled wPST\n"
                "  explore <workload> [budget]  print the Pareto frontier\n"
                "  evaluate <workload> [budget] evaluate vs baselines\n"
-               "  evaluate-all [budget] [--jobs N]\n"
+               "  evaluate-all [budget] [--jobs N] [--timeout-s S]\n"
                "                               evaluate all workloads in "
                "parallel\n"
                "  run <file.cir> [budget]      evaluate IR from a file\n"
                "budgets are area ratios of a CVA6 tile in (0, 1], e.g. "
-               "0.25\n");
+               "0.25\n"
+               "--timeout-s sets a per-workload wall-clock deadline\n"
+               "exit codes: 0 ok, 1 evaluation error/failed workloads, "
+               "2 usage, 3 internal error\n");
   return 2;
+}
+
+/// Parses a --timeout-s value: seconds, strictly positive, finite.
+bool parseTimeout(const char* text, double* seconds) {
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  if (!(value > 0.0) || value > 1e9) return false;
+  *seconds = value;
+  return true;
 }
 
 /// Parses an area-budget ratio. Unlike atof, rejects trailing garbage and
@@ -140,6 +154,7 @@ int cmdExplore(const std::string& name, double budget) {
 int cmdEvaluateAll(int argc, char** argv) {
   double budget = 0.25;
   unsigned jobs = ThreadPool::defaultWorkers();
+  FrameworkOptions options;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--jobs") {
@@ -151,13 +166,20 @@ int cmdEvaluateAll(int argc, char** argv) {
         return 2;
       }
       jobs = static_cast<unsigned>(value);
+    } else if (arg == "--timeout-s") {
+      if (i + 1 >= argc) return usage();
+      if (!parseTimeout(argv[++i], &options.timeoutSeconds)) {
+        std::fprintf(stderr, "error: invalid --timeout-s '%s'\n", argv[i]);
+        return 2;
+      }
     } else if (!parseBudget(arg.c_str(), &budget)) {
       return badBudget(arg.c_str());
     }
   }
-  std::fputs(formatEvaluationTable(evaluateAll(budget, jobs)).c_str(),
-             stdout);
-  return 0;
+  std::vector<WorkloadEvaluation> evaluations =
+      evaluateAll(budget, jobs, options);
+  std::fputs(formatEvaluationTable(evaluations).c_str(), stdout);
+  return countFailures(evaluations) > 0 ? 1 : 0;
 }
 
 int cmdRun(const std::string& path, double budget) {
@@ -193,6 +215,11 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  } catch (const std::exception& e) {
+    // Anything not funneled through cayman::Error is an internal bug, not an
+    // input problem — distinct exit code so harnesses can tell them apart.
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 3;
   }
   return usage();
 }
