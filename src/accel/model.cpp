@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "support/trace.h"
+
 namespace cayman::accel {
 
 using analysis::Loop;
@@ -199,8 +201,12 @@ const std::vector<AcceleratorConfig>& AcceleratorModel::generate(
   {
     std::lock_guard<std::mutex> lock(generateCacheMutex_);
     auto it = generateCache_.find(region);
-    if (it != generateCache_.end()) return it->second;
+    if (it != generateCache_.end()) {
+      support::trace::count("model.cache_hits", 1);
+      return it->second;
+    }
   }
+  support::trace::count("model.cache_misses", 1);
   // Compute outside the lock: generateUncached is a pure function of the
   // region, so two threads racing here produce identical lists and the
   // loser's copy is simply discarded by try_emplace.

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "support/thread_pool.h"
+#include "support/trace.h"
 #include "workloads/workloads.h"
 
 namespace cayman {
@@ -48,7 +49,8 @@ std::optional<support::Stage> envInjectedFault(const std::string& workload) {
 
 WorkloadEvaluation evaluateWorkload(const std::string& name,
                                     double budgetRatio,
-                                    const FrameworkOptions& options) {
+                                    const FrameworkOptions& options,
+                                    size_t traceIndex) {
   WorkloadEvaluation evaluation;
   evaluation.name = name;
   evaluation.report.budgetRatio = budgetRatio;
@@ -61,6 +63,10 @@ WorkloadEvaluation evaluateWorkload(const std::string& name,
   }
   evaluation.name = info->name;
   evaluation.suite = info->suite;
+
+  // All probes on this thread now attribute to (workload, index); inert
+  // when tracing is off.
+  support::trace::TaskScope traceScope(info->name, traceIndex);
 
   FrameworkOptions taskOptions = options;
   if (!taskOptions.failAfterStage.has_value()) {
@@ -92,6 +98,30 @@ WorkloadEvaluation evaluateWorkload(const std::string& name,
     }
     Framework framework(std::move(module), taskOptions);
     evaluation.report = framework.evaluate(budgetRatio);
+    // Capture selection decisions by value while the Framework still owns
+    // the regions the solution's config pointers reference.
+    const double ratio = taskOptions.clockRatio();
+    for (const accel::AcceleratorConfig& config :
+         evaluation.report.solution.accelerators) {
+      SelectionDecision decision;
+      decision.region =
+          config.region != nullptr ? config.region->label() : "<none>";
+      decision.cpuCycles = config.cpuCycles;
+      decision.accelCycles = config.cycles;
+      decision.hotFraction = config.region != nullptr
+                                 ? framework.profile().hotFraction(config.region)
+                                 : 0.0;
+      double accelTimeCycles = config.cycles * ratio;
+      decision.kernelSpeedup =
+          accelTimeCycles > 0.0 ? config.cpuCycles / accelTimeCycles : 0.0;
+      decision.areaUm2 = config.areaUm2;
+      decision.numSeqBlocks = config.numSeqBlocks;
+      decision.numPipelinedRegions = config.numPipelinedRegions;
+      decision.numCoupled = config.numCoupled;
+      decision.numDecoupled = config.numDecoupled;
+      decision.numScratchpad = config.numScratchpad;
+      evaluation.decisions.push_back(std::move(decision));
+    }
   } catch (const support::DiagnosticError& e) {
     evaluation.failure = e.diagnostic();
     evaluation.report.budgetRatio = budgetRatio;
@@ -109,7 +139,7 @@ std::vector<WorkloadEvaluation> evaluateWorkloads(
   if (jobs == 0) jobs = ThreadPool::defaultWorkers();
   ThreadPool pool(jobs);
   return parallelIndexMap(pool, names.size(), [&](size_t i) {
-    return evaluateWorkload(names[i], budgetRatio, options);
+    return evaluateWorkload(names[i], budgetRatio, options, i);
   });
 }
 

@@ -23,12 +23,32 @@
 
 namespace cayman {
 
+/// One chosen accelerator region, captured as plain values while the
+/// Framework (and the wPST/regions it owns) is still alive —
+/// AcceleratorConfig::region dangles once evaluateWorkload's Framework is
+/// destroyed, so reports must never carry the raw config pointers around.
+struct SelectionDecision {
+  std::string region;          ///< wPST region label
+  double cpuCycles = 0.0;      ///< T_cand contribution (CPU cycles)
+  double accelCycles = 0.0;    ///< Cycle_cand contribution (accel cycles)
+  double hotFraction = 0.0;    ///< cpuCycles / T_all
+  double kernelSpeedup = 0.0;  ///< cpuCycles / (accelCycles * clockRatio)
+  double areaUm2 = 0.0;
+  unsigned numSeqBlocks = 0;
+  unsigned numPipelinedRegions = 0;
+  unsigned numCoupled = 0;
+  unsigned numDecoupled = 0;
+  unsigned numScratchpad = 0;
+};
+
 /// One evaluated workload: the registry entry plus its Table II row, or the
 /// structured failure that prevented it.
 struct WorkloadEvaluation {
   std::string name;
   std::string suite;
   EvaluationReport report;
+  /// Chosen regions of the best solution, in solution order.
+  std::vector<SelectionDecision> decisions;
   /// Set when the pipeline failed; `report` is then only partially filled.
   std::optional<support::Diagnostic> failure;
 
@@ -39,9 +59,12 @@ struct WorkloadEvaluation {
 /// throws: failures (including `options.timeoutSeconds` deadline expiry and
 /// faults injected via `options.failAfterStage` or env
 /// CAYMAN_INJECT_FAULT=<workload>:<stage>) come back in `failure`.
+/// `traceIndex` is the workload's stable output position for the trace
+/// recorder (registry order in sweeps; 0 for one-off calls).
 WorkloadEvaluation evaluateWorkload(const std::string& name,
                                     double budgetRatio,
-                                    const FrameworkOptions& options = {});
+                                    const FrameworkOptions& options = {},
+                                    size_t traceIndex = 0);
 
 /// Evaluates the named workloads at `budgetRatio` on `jobs` pool workers
 /// (jobs == 0 means ThreadPool::defaultWorkers()). Output order follows

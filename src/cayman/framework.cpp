@@ -1,6 +1,7 @@
 #include "cayman/framework.h"
 
 #include "ir/verifier.h"
+#include "support/trace.h"
 
 namespace cayman {
 
@@ -10,17 +11,27 @@ namespace {
 /// becomes a DiagnosticError carrying the stage and unit (already-attributed
 /// DiagnosticErrors — parse/verify diagnostics, cancellation — pass through
 /// untouched). After a successful stage this is also the fault-injection and
-/// cancellation checkpoint.
+/// cancellation checkpoint, and — when tracing is on — the span / stage-time
+/// attribution point for the observability layer.
 template <typename Fn>
 void runStage(support::Stage stage, const std::string& unit,
               const FrameworkOptions& options, Fn&& fn) {
+  const bool tracing = support::trace::on();
+  uint64_t beginNs = tracing ? support::trace::nowNs() : 0;
   try {
+    support::trace::Span span(
+        tracing ? support::stageName(stage) : "", "pipeline");
     fn();
   } catch (const support::DiagnosticError&) {
     throw;
   } catch (const std::exception& e) {
     throw support::DiagnosticError(
         support::Diagnostic{stage, unit, e.what()});
+  }
+  if (tracing) {
+    support::trace::addStageSeconds(
+        support::stageName(stage),
+        static_cast<double>(support::trace::nowNs() - beginNs) * 1e-9);
   }
   if (options.failAfterStage == stage) {
     throw support::DiagnosticError(support::Diagnostic{
@@ -113,6 +124,7 @@ EvaluationReport Framework::evaluate(double budgetRatio) const {
 
   double tAll = totalCpuCycles();
   double ratio = options_.clockRatio();
+  report.totalCpuCycles = tAll;
   report.caymanSpeedup = report.solution.speedup(tAll, ratio);
 
   runStage(support::Stage::Select, unit, options_, [&] {
@@ -124,8 +136,15 @@ EvaluationReport Framework::evaluate(double budgetRatio) const {
     report.qscoresSpeedup = qscoresBest.speedup(tAll, ratio);
   });
 
-  report.overNovia = report.caymanSpeedup / report.noviaSpeedup;
-  report.overQsCores = report.caymanSpeedup / report.qscoresSpeedup;
+  // Baseline speedups are 0 when the baseline found nothing to accelerate
+  // over an empty/degenerate profile; report the ratio as 0 instead of
+  // letting inf/NaN flow into tables and averages.
+  report.overNovia = report.noviaSpeedup > 0.0
+                         ? report.caymanSpeedup / report.noviaSpeedup
+                         : 0.0;
+  report.overQsCores = report.qscoresSpeedup > 0.0
+                           ? report.caymanSpeedup / report.qscoresSpeedup
+                           : 0.0;
 
   for (const accel::AcceleratorConfig& config :
        report.solution.accelerators) {

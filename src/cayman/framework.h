@@ -55,6 +55,7 @@ struct FrameworkOptions {
 /// Everything a Table II row needs for one (benchmark, budget) pair.
 struct EvaluationReport {
   double budgetRatio = 0.0;  ///< of the CVA6 tile area
+  double totalCpuCycles = 0.0;  ///< T_all (Eq. 1 denominator basis)
   select::Solution solution; ///< best Cayman solution under the budget
   merge::MergeResult merging;
 

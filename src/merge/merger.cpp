@@ -4,6 +4,8 @@
 #include <functional>
 #include <numeric>
 
+#include "support/trace.h"
+
 namespace cayman::merge {
 
 namespace {
@@ -106,7 +108,10 @@ MergeResult AcceleratorMerger::run(const select::Solution& solution) const {
   result.areaAfterUm2 = solution.areaUm2;
   if (solution.accelerators.size() < 1) return result;
 
+  support::trace::Span span("merge.pairing", "merge");
   std::vector<Unit> units = extractUnits(solution);
+  support::trace::count("merge.units", units.size());
+  uint64_t pairsEvaluated = 0;
 
   // Union-find over accelerators to track reusable groups.
   std::vector<size_t> parent(solution.accelerators.size());
@@ -127,6 +132,7 @@ MergeResult AcceleratorMerger::run(const select::Solution& solution) const {
         // two units of the same accelerator are one datapath already and
         // pairing them would book intra-accelerator sharing as reuse.
         if (units[i].acceleratorIndex == units[j].acceleratorIndex) continue;
+        ++pairsEvaluated;
         double saving = pairSaving(units[i].ops, units[j].ops);
         if (saving > bestSaving) {
           bestSaving = saving;
@@ -136,6 +142,7 @@ MergeResult AcceleratorMerger::run(const select::Solution& solution) const {
       }
     }
     if (bestSaving <= 0.0) break;
+    support::trace::count("merge.steps", 1);
 
     // Merge j into i: the reconfigurable unit carries the op maximum.
     Unit& into = units[bestI];
@@ -149,6 +156,7 @@ MergeResult AcceleratorMerger::run(const select::Solution& solution) const {
     ++result.mergeSteps;
   }
 
+  support::trace::count("merge.pairs_evaluated", pairsEvaluated);
   result.areaAfterUm2 = solution.areaUm2 - totalSaving;
 
   // A merged group additionally pays for one global Ctrl unit (paper Fig. 5)

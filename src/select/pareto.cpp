@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/trace.h"
+
 namespace cayman::select {
 
 std::vector<Solution> pareto(std::vector<Solution> solutions,
@@ -20,6 +22,10 @@ std::vector<Solution> pareto(std::vector<Solution> solutions,
     bestSaved = std::max(bestSaved, saved);
     front.push_back(std::move(s));
   }
+  if (support::trace::on() && front.size() < solutions.size()) {
+    support::trace::count("select.pareto_dropped",
+                          solutions.size() - front.size());
+  }
   return front;
 }
 
@@ -36,6 +42,10 @@ std::vector<Solution> filterByAlpha(std::vector<Solution> solutions,
     }
   }
   kept.push_back(std::move(solutions.back()));
+  if (support::trace::on() && kept.size() < solutions.size()) {
+    support::trace::count("select.alpha_dropped",
+                          solutions.size() - kept.size());
+  }
   return kept;
 }
 

@@ -1,5 +1,7 @@
 #include "select/selector.h"
 
+#include "support/trace.h"
+
 namespace cayman::select {
 
 using analysis::Region;
@@ -57,7 +59,17 @@ std::vector<Solution> CandidateSelector::dp(const Region* region,
 
 std::vector<Solution> CandidateSelector::select(Stats& stats) const {
   stats = Stats{};
-  return dp(model_.wpst().root(), stats);
+  support::trace::Span span("select.dp", "select");
+  std::vector<Solution> front = dp(model_.wpst().root(), stats);
+  if (support::trace::on()) {
+    support::trace::count("select.regions_visited",
+                          static_cast<uint64_t>(stats.regionsVisited));
+    support::trace::count("select.regions_pruned",
+                          static_cast<uint64_t>(stats.regionsPruned));
+    support::trace::count("select.configs_generated",
+                          static_cast<uint64_t>(stats.configsGenerated));
+  }
+  return front;
 }
 
 Solution CandidateSelector::best(Stats& stats) const {

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <limits>
 
+#include "support/trace.h"
+
 namespace cayman::sim {
 
 using ir::Opcode;
@@ -89,6 +91,16 @@ Interpreter::Result Interpreter::runFunction(const ir::Function& function,
     returnValue = execReference(function, std::move(slots), result, 0);
   }
   if (!function.returnType()->isVoid()) result.returnValue = returnValue;
+  if (support::trace::on()) {
+    support::trace::count("interp.runs", 1);
+    support::trace::count("interp.instructions", result.instructions);
+    uint64_t blocks = 0;
+    for (const auto& [block, blockCount] : result.blockCounts) {
+      (void)block;
+      blocks += blockCount;
+    }
+    support::trace::count("interp.blocks", blocks);
+  }
   return result;
 }
 

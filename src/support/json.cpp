@@ -1,0 +1,335 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cayman::support::json {
+
+void Value::set(std::string key, Value value) {
+  for (auto& [existing, slot] : members_) {
+    if (existing == key) {
+      slot = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [existing, slot] : members_) {
+    if (existing == key) return &slot;
+  }
+  return nullptr;
+}
+
+std::string formatNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+std::string quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Value::dumpTo(std::string& out, int indent, int depth) const {
+  auto newline = [&](int level) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent * level), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Int: out += std::to_string(int_); break;
+    case Kind::Double: out += formatNumber(double_); break;
+    case Kind::String: out += quote(string_); break;
+    case Kind::Array: {
+      out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        items_[i].dumpTo(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        out += quote(members_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        members_[i].second.dumpTo(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser with a depth cap, mirroring the hardened IR
+/// parser's discipline: reject instead of crash on hostile input.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<Value> run() {
+    skipSpace();
+    Value value;
+    if (!parseValue(value, 0)) return takeError();
+    skipSpace();
+    if (pos_ != text_.size()) return error("trailing garbage after document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool parseValue(Value& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return parseObject(out, depth);
+      case '[': return parseArray(out, depth);
+      case '"': return parseString(out);
+      case 't': return parseLiteral("true", Value(true), out);
+      case 'f': return parseLiteral("false", Value(false), out);
+      case 'n': return parseLiteral("null", Value(), out);
+      default: return parseNumber(out);
+    }
+  }
+
+  bool parseObject(Value& out, int depth) {
+    out = Value::object();
+    ++pos_;  // '{'
+    skipSpace();
+    if (consume('}')) return true;
+    while (true) {
+      skipSpace();
+      Value key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      if (!parseString(key)) return false;
+      skipSpace();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skipSpace();
+      Value value;
+      if (!parseValue(value, depth + 1)) return false;
+      out.set(key.stringValue(), std::move(value));
+      skipSpace();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(Value& out, int depth) {
+    out = Value::array();
+    ++pos_;  // '['
+    skipSpace();
+    if (consume(']')) return true;
+    while (true) {
+      skipSpace();
+      Value value;
+      if (!parseValue(value, depth + 1)) return false;
+      out.push(std::move(value));
+      skipSpace();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(Value& out) {
+    ++pos_;  // '"'
+    std::string result;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        out = Value(std::move(result));
+        return true;
+      }
+      if (c != '\\') {
+        result += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char escape = text_[pos_++];
+      switch (escape) {
+        case '"': result += '"'; break;
+        case '\\': result += '\\'; break;
+        case '/': result += '/'; break;
+        case 'b': result += '\b'; break;
+        case 'f': result += '\f'; break;
+        case 'n': result += '\n'; break;
+        case 'r': result += '\r'; break;
+        case 't': result += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // Minimal UTF-8 encoding; surrogate pairs are passed through as
+          // two 3-byte sequences (the exporters never emit them).
+          if (code < 0x80) {
+            result += static_cast<char>(code);
+          } else if (code < 0x800) {
+            result += static_cast<char>(0xC0 | (code >> 6));
+            result += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            result += static_cast<char>(0xE0 | (code >> 12));
+            result += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            result += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseLiteral(std::string_view literal, Value value, Value& out) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return fail("unrecognized literal");
+    }
+    pos_ += literal.size();
+    out = std::move(value);
+    return true;
+  }
+
+  bool parseNumber(Value& out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool isDouble = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        isDouble = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    if (!isDouble) {
+      long long value = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size()) {
+        out = Value(static_cast<int64_t>(value));
+        return true;
+      }
+    }
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("malformed number");
+    out = Value(value);
+    return true;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool fail(std::string message) {
+    if (error_.empty()) {
+      error_ = std::move(message);
+      errorPos_ = pos_;
+    }
+    return false;
+  }
+
+  Expected<Value> error(std::string message) {
+    fail(std::move(message));
+    return takeError();
+  }
+
+  Expected<Value> takeError() {
+    Diagnostic diagnostic;
+    diagnostic.stage = Stage::Parse;
+    diagnostic.unit = "json";
+    diagnostic.message = error_.empty() ? "malformed document" : error_;
+    diagnostic.line = 1;
+    diagnostic.col = 1;
+    for (size_t i = 0; i < errorPos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++diagnostic.line;
+        diagnostic.col = 1;
+      } else {
+        ++diagnostic.col;
+      }
+    }
+    return diagnostic;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+  size_t errorPos_ = 0;
+};
+
+}  // namespace
+
+Expected<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace cayman::support::json

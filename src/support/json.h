@@ -1,0 +1,99 @@
+// Minimal JSON document model used by the observability exporters and the
+// metrics schema checker.
+//
+// Determinism contract: `dump()` is a pure function of the document — object
+// members keep insertion order, numbers are formatted with a fixed
+// shortest-round-trip algorithm, and no locale or pointer-order state leaks
+// in. Two structurally identical documents always serialize to identical
+// bytes, which is what lets `--jobs 1` and `--jobs N` metrics files be
+// compared with `cmp`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/status.h"
+
+namespace cayman::support::json {
+
+/// One JSON value. Objects preserve insertion order (determinism) and are
+/// small vectors rather than maps: documents here have a handful of keys.
+class Value {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() : kind_(Kind::Null) {}
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}                  // NOLINT
+  Value(int64_t i) : kind_(Kind::Int), int_(i) {}                 // NOLINT
+  Value(int i) : kind_(Kind::Int), int_(i) {}                     // NOLINT
+  Value(unsigned u) : kind_(Kind::Int), int_(u) {}                // NOLINT
+  Value(uint64_t u) : kind_(Kind::Int), int_(static_cast<int64_t>(u)) {}  // NOLINT
+  Value(double d) : kind_(Kind::Double), double_(d) {}            // NOLINT
+  Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : kind_(Kind::String), string_(s) {}       // NOLINT
+
+  static Value array() { Value v; v.kind_ = Kind::Array; return v; }
+  static Value object() { Value v; v.kind_ = Kind::Object; return v; }
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+  bool isBool() const { return kind_ == Kind::Bool; }
+  bool isInt() const { return kind_ == Kind::Int; }
+  /// Ints count as numbers too (JSON does not distinguish).
+  bool isNumber() const { return kind_ == Kind::Int || kind_ == Kind::Double; }
+  bool isString() const { return kind_ == Kind::String; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isObject() const { return kind_ == Kind::Object; }
+
+  bool boolValue() const { return bool_; }
+  int64_t intValue() const { return int_; }
+  double numberValue() const {
+    return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+  }
+  const std::string& stringValue() const { return string_; }
+
+  /// Array access.
+  const std::vector<Value>& items() const { return items_; }
+  void push(Value value) { items_.push_back(std::move(value)); }
+  size_t size() const { return items_.size(); }
+
+  /// Object access. `set` appends (or overwrites an existing key in place,
+  /// keeping its original position); `find` returns nullptr when missing.
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+  void set(std::string key, Value value);
+  const Value* find(std::string_view key) const;
+
+  /// Serializes the document. indent < 0 emits the compact single-line form;
+  /// indent >= 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Formats a double deterministically: the shortest of %.15g/%.16g/%.17g
+/// that parses back to the same bits. NaN/inf (not representable in JSON)
+/// serialize as null — callers are expected to have guarded them away.
+std::string formatNumber(double value);
+
+/// Escapes and quotes a string per RFC 8259.
+std::string quote(std::string_view text);
+
+/// Parses one JSON document (trailing garbage is an error). Failures come
+/// back as a Diagnostic with a 1-based line:col position.
+Expected<Value> parse(std::string_view text);
+
+}  // namespace cayman::support::json

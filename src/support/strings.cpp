@@ -1,7 +1,10 @@
 #include "support/strings.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cayman {
 
@@ -43,6 +46,36 @@ std::string formatFixed(double value, int digits) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
   return buffer;
+}
+
+std::optional<long> parseLong(const char* text, long minValue,
+                              long maxValue) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return std::nullopt;
+  if (value < minValue || value > maxValue) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parseDouble(const char* text, double minExclusive,
+                                  double maxInclusive) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) return std::nullopt;
+  // !(value > min) also rejects NaN.
+  if (!(value > minExclusive) || value > maxInclusive) return std::nullopt;
+  return value;
+}
+
+std::optional<unsigned> parseJobs(const char* text, unsigned maxJobs) {
+  std::optional<long> value =
+      parseLong(text, 1, static_cast<long>(maxJobs));
+  if (!value.has_value()) return std::nullopt;
+  return static_cast<unsigned>(*value);
 }
 
 }  // namespace cayman

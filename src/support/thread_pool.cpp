@@ -2,15 +2,18 @@
 
 #include <cstdlib>
 
+#include "support/strings.h"
+#include "support/trace.h"
+
 namespace cayman {
 
 unsigned ThreadPool::defaultWorkers() {
+  // Same strict parse as the --jobs flag (full consumption, [1, 1024]); a
+  // malformed value falls back to hardware concurrency here because a
+  // library has no usage-error channel — the CLI additionally validates the
+  // variable up front and exits 2 on garbage.
   if (const char* env = std::getenv("CAYMAN_JOBS")) {
-    char* end = nullptr;
-    long value = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && value > 0 && value <= 1024) {
-      return static_cast<unsigned>(value);
-    }
+    if (std::optional<unsigned> jobs = parseJobs(env)) return *jobs;
   }
   unsigned hardware = std::thread::hardware_concurrency();
   return hardware == 0 ? 1 : hardware;
@@ -18,6 +21,7 @@ unsigned ThreadPool::defaultWorkers() {
 
 ThreadPool::ThreadPool(unsigned workers) {
   if (workers == 0) workers = 1;
+  support::trace::gauge("pool.workers", workers);
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { workerLoop(); });
@@ -43,6 +47,11 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // The span lands on this worker's (orphan) timeline: the task body
+    // typically opens its own TaskScope, so workload-attributed events nest
+    // inside while this one shows worker occupancy in wall-clock traces.
+    support::trace::Span span("pool.task", "pool");
+    support::trace::count("pool.tasks", 1);
     task();
   }
 }

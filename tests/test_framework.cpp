@@ -2,7 +2,10 @@
 // qualitative capability matrix of the paper's Table I.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cayman/framework.h"
+#include "ir/builder.h"
 #include "test_kernels.h"
 #include "workloads/workloads.h"
 
@@ -49,6 +52,29 @@ TEST(FrameworkTest, EvaluateReportIsConsistent) {
       report.numCoupled + report.numDecoupled + report.numScratchpad;
   EXPECT_GT(ifaceTotal, 0u);
   EXPECT_GE(report.selectionSeconds, 0.0);
+}
+
+TEST(FrameworkTest, TrivialModuleEvaluatesToFiniteReport) {
+  // Near-empty profile: nothing worth accelerating, every baseline may come
+  // back with speedup <= 1 or 0 — the derived ratios must stay finite
+  // (overNovia/overQsCores report 0, not inf/NaN, when a baseline found
+  // nothing).
+  auto module = std::make_unique<ir::Module>("trivial");
+  ir::Function* f = module->addFunction("main", ir::Type::voidTy(), {});
+  ir::BasicBlock* entry = f->addBlock("entry");
+  ir::IRBuilder b(module.get());
+  b.setInsertPoint(entry);
+  b.ret();
+  Framework fw(std::move(module));
+  EvaluationReport report = fw.evaluate(0.25);
+  for (double value :
+       {report.totalCpuCycles, report.caymanSpeedup, report.noviaSpeedup,
+        report.qscoresSpeedup, report.overNovia, report.overQsCores,
+        report.areaSavingPercent}) {
+    EXPECT_TRUE(std::isfinite(value));
+  }
+  EXPECT_GE(report.overNovia, 0.0);
+  EXPECT_GE(report.overQsCores, 0.0);
 }
 
 TEST(FrameworkTest, TableOneCapabilityMatrix) {

@@ -2,6 +2,8 @@
 // cycle accounting, and region profiling.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "ir/verifier.h"
 #include "sim/profiler.h"
 #include "workloads/kernel_builder.h"
@@ -327,6 +329,40 @@ TEST(ProfilerTest, RegionCyclesAndEntries) {
   // The function region covers everything.
   const analysis::Region* funcRegion = wpst.root()->children()[0].get();
   EXPECT_NEAR(profile.cycles(funcRegion), profile.totalCycles(), 1e-9);
+}
+
+TEST(ProfilerTest, DegenerateProfileYieldsZerosNotNaN) {
+  // A profile with no executed blocks (e.g. an entry function whose hot
+  // code is never reached) must produce 0 for every derived ratio — never
+  // NaN/inf from 0/0 — so downstream pruning and Eq. 1 stay well-defined.
+  auto module = std::make_unique<ir::Module>("empty_prof");
+  auto* x = module->addGlobal("x", ir::Type::f64(), 8);
+  KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, 8, "i");
+  kb.storeAt(x, i, kb.ir().f64(1.0));
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+
+  analysis::WPst wpst(*module);
+  Interpreter::Result emptyRun;  // totalCycles == 0, no block counts
+  Interpreter interp(*module);
+  ProfileData profile(wpst, emptyRun, interp.costModel());
+
+  EXPECT_DOUBLE_EQ(profile.totalCycles(), 0.0);
+  const ir::Function* f = module->entryFunction();
+  const analysis::Loop* loop = wpst.analyses(f).loops.topLevelLoops()[0];
+  const analysis::Region* loopRegion = wpst.loopRegion(loop);
+  ASSERT_NE(loopRegion, nullptr);
+  EXPECT_EQ(profile.entries(loopRegion), 0u);
+  // latch count 0 / entries 0 and cycles 0 / total 0 both resolve to 0.
+  double trip = profile.avgTripCount(loop);
+  EXPECT_DOUBLE_EQ(trip, 0.0);
+  EXPECT_FALSE(std::isnan(trip));
+  double hot = profile.hotFraction(loopRegion);
+  EXPECT_DOUBLE_EQ(hot, 0.0);
+  EXPECT_FALSE(std::isnan(hot));
 }
 
 TEST(ProfilerTest, CalleeTimeStaysInCallee) {

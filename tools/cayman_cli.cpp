@@ -7,8 +7,8 @@
 //   cayman_cli evaluate <workload> [budget]  full evaluation vs baselines
 //   cayman_cli evaluate-all [budget] [--jobs N]
 //                                            all 28 workloads in parallel
+//   cayman_cli report <workload> [budget]    machine-readable single report
 //   cayman_cli run <file.cir> [budget]       evaluate IR parsed from a file
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -17,9 +17,12 @@
 
 #include "cayman/driver.h"
 #include "cayman/framework.h"
+#include "cayman/metrics.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "support/strings.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 #include "workloads/workloads.h"
 
 using namespace cayman;
@@ -35,12 +38,20 @@ int usage() {
                "  explore <workload> [budget]  print the Pareto frontier\n"
                "  evaluate <workload> [budget] evaluate vs baselines\n"
                "  evaluate-all [budget] [--jobs N] [--timeout-s S]\n"
+               "               [--only a,b,..] [--metrics-json FILE]\n"
+               "               [--trace-out FILE] [--trace-wall]\n"
                "                               evaluate all workloads in "
                "parallel\n"
+               "  report <workload> [budget]   print a cayman-metrics-v1 "
+               "JSON report\n"
                "  run <file.cir> [budget]      evaluate IR from a file\n"
                "budgets are area ratios of a CVA6 tile in (0, 1], e.g. "
                "0.25\n"
                "--timeout-s sets a per-workload wall-clock deadline\n"
+               "--metrics-json / --trace-out enable the trace recorder and\n"
+               "write a metrics report / Chrome trace-event JSON; both are\n"
+               "deterministic (byte-identical across --jobs counts) unless\n"
+               "--trace-wall opts into real wall-clock timestamps\n"
                "exit codes: 0 ok, 1 evaluation error/failed workloads, "
                "2 usage, 3 internal error\n");
   return 2;
@@ -48,24 +59,18 @@ int usage() {
 
 /// Parses a --timeout-s value: seconds, strictly positive, finite.
 bool parseTimeout(const char* text, double* seconds) {
-  char* end = nullptr;
-  errno = 0;
-  double value = std::strtod(text, &end);
-  if (end == text || *end != '\0' || errno == ERANGE) return false;
-  if (!(value > 0.0) || value > 1e9) return false;
-  *seconds = value;
+  std::optional<double> value = parseDouble(text, 0.0, 1e9);
+  if (!value) return false;
+  *seconds = *value;
   return true;
 }
 
 /// Parses an area-budget ratio. Unlike atof, rejects trailing garbage and
 /// out-of-range values instead of silently evaluating at budget 0.
 bool parseBudget(const char* text, double* budget) {
-  char* end = nullptr;
-  errno = 0;
-  double value = std::strtod(text, &end);
-  if (end == text || *end != '\0' || errno == ERANGE) return false;
-  if (!(value > 0.0) || value > 1.0) return false;  // !(>0) also catches NaN
-  *budget = value;
+  std::optional<double> value = parseDouble(text, 0.0, 1.0);
+  if (!value) return false;
+  *budget = *value;
   return true;
 }
 
@@ -151,35 +156,146 @@ int cmdExplore(const std::string& name, double budget) {
   return 0;
 }
 
+/// Writes `content` to `path` (error message + false on failure).
+bool writeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmdEvaluateAll(int argc, char** argv) {
   double budget = 0.25;
-  unsigned jobs = ThreadPool::defaultWorkers();
+  std::optional<unsigned> jobsFlag;
   FrameworkOptions options;
+  std::string traceOut;
+  std::string metricsOut;
+  bool traceWall = false;
+  std::vector<std::string> only;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--jobs") {
       if (i + 1 >= argc) return usage();
-      char* end = nullptr;
-      long value = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || value <= 0 || value > 1024) {
-        std::fprintf(stderr, "error: invalid --jobs '%s'\n", argv[i]);
+      std::optional<unsigned> jobs = parseJobs(argv[++i]);
+      if (!jobs) {
+        std::fprintf(stderr,
+                     "error: invalid --jobs '%s' — expected an integer in "
+                     "[1, 1024]\n",
+                     argv[i]);
         return 2;
       }
-      jobs = static_cast<unsigned>(value);
+      jobsFlag = *jobs;
     } else if (arg == "--timeout-s") {
       if (i + 1 >= argc) return usage();
       if (!parseTimeout(argv[++i], &options.timeoutSeconds)) {
         std::fprintf(stderr, "error: invalid --timeout-s '%s'\n", argv[i]);
         return 2;
       }
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) return usage();
+      traceOut = argv[++i];
+    } else if (arg == "--metrics-json") {
+      if (i + 1 >= argc) return usage();
+      metricsOut = argv[++i];
+    } else if (arg == "--trace-wall") {
+      traceWall = true;
+    } else if (arg == "--only") {
+      if (i + 1 >= argc) return usage();
+      for (std::string_view piece : split(argv[++i], ',')) {
+        std::string name(trim(piece));
+        if (name.empty()) continue;
+        if (workloads::byName(name) == nullptr) {
+          std::fprintf(stderr, "error: unknown workload '%s' in --only\n",
+                       name.c_str());
+          return 2;
+        }
+        only.push_back(std::move(name));
+      }
+      if (only.empty()) {
+        std::fprintf(stderr, "error: --only names no workloads\n");
+        return 2;
+      }
     } else if (!parseBudget(arg.c_str(), &budget)) {
       return badBudget(arg.c_str());
     }
   }
+
+  unsigned jobs;
+  if (jobsFlag.has_value()) {
+    jobs = *jobsFlag;
+  } else if (const char* env = std::getenv("CAYMAN_JOBS");
+             env != nullptr && *env != '\0') {
+    // The library silently falls back on a malformed CAYMAN_JOBS (it has no
+    // usage-error channel); the CLI rejects it like a bad --jobs instead of
+    // quietly running with a different parallelism than asked for.
+    std::optional<unsigned> envJobs = parseJobs(env);
+    if (!envJobs) {
+      std::fprintf(stderr,
+                   "error: invalid CAYMAN_JOBS '%s' — expected an integer "
+                   "in [1, 1024]\n",
+                   env);
+      return 2;
+    }
+    jobs = *envJobs;
+  } else {
+    jobs = ThreadPool::defaultWorkers();
+  }
+
+  const bool tracing = !traceOut.empty() || !metricsOut.empty();
+  if (tracing) {
+    support::trace::TraceRecorder& recorder =
+        support::trace::TraceRecorder::global();
+    recorder.clear();
+    recorder.setEnabled(true);
+  }
+
   std::vector<WorkloadEvaluation> evaluations =
-      evaluateAll(budget, jobs, options);
+      only.empty() ? evaluateAll(budget, jobs, options)
+                   : evaluateWorkloads(only, budget, jobs, options);
   std::fputs(formatEvaluationTable(evaluations).c_str(), stdout);
+
+  if (tracing) {
+    support::trace::TraceRecorder& recorder =
+        support::trace::TraceRecorder::global();
+    std::vector<support::trace::TaskRecord> tasks = recorder.drainTasks();
+    std::vector<support::trace::OrphanRecord> orphans =
+        recorder.drainOrphans();
+    if (!metricsOut.empty()) {
+      MetricsOptions metricsOptions;
+      metricsOptions.includeWallTimes = traceWall;
+      support::json::Value document =
+          buildMetricsJson(evaluations, tasks, metricsOptions);
+      if (!writeFile(metricsOut, document.dump(2) + "\n")) return 1;
+    }
+    if (!traceOut.empty()) {
+      support::trace::TimeMode mode =
+          traceWall ? support::trace::TimeMode::Wall
+                    : support::trace::TimeMode::Deterministic;
+      support::json::Value document =
+          support::trace::chromeTrace(tasks, orphans, mode);
+      if (!writeFile(traceOut, document.dump() + "\n")) return 1;
+    }
+  }
   return countFailures(evaluations) > 0 ? 1 : 0;
+}
+
+/// `report <workload> [budget]`: evaluates one workload with tracing on and
+/// prints its cayman-metrics-v1 document (deterministic mode) to stdout.
+int cmdReport(const std::string& name, double budget) {
+  support::trace::TraceRecorder& recorder =
+      support::trace::TraceRecorder::global();
+  recorder.clear();
+  recorder.setEnabled(true);
+  std::vector<WorkloadEvaluation> evaluations;
+  evaluations.push_back(evaluateWorkload(name, budget));
+  std::vector<support::trace::TaskRecord> tasks = recorder.drainTasks();
+  support::json::Value document = buildMetricsJson(evaluations, tasks);
+  std::printf("%s\n", document.dump(2).c_str());
+  return evaluations.front().ok() ? 0 : 1;
 }
 
 int cmdRun(const std::string& path, double budget) {
@@ -211,6 +327,7 @@ int main(int argc, char** argv) {
     if (command == "evaluate") {
       return evaluateModule(workloads::build(target), budget);
     }
+    if (command == "report") return cmdReport(target, budget);
     if (command == "run") return cmdRun(target, budget);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
