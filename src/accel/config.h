@@ -14,6 +14,14 @@ struct LoopConfig {
   bool pipelined = false;
 };
 
+inline bool operator==(const LoopConfig& a, const LoopConfig& b) {
+  return a.loop == b.loop && a.unroll == b.unroll &&
+         a.pipelined == b.pipelined;
+}
+inline bool operator!=(const LoopConfig& a, const LoopConfig& b) {
+  return !(a == b);
+}
+
 /// One synthesizable accelerator: a candidate kernel region plus its
 /// configuration and the model's estimates.
 struct AcceleratorConfig {
@@ -43,5 +51,25 @@ struct AcceleratorConfig {
     return nullptr;
   }
 };
+
+/// Config identity: two configs are the same decision iff they target the
+/// same region with the same loop optimizations, interface assignment and
+/// estimates. The selection DP's frontier path references configs by stable
+/// address (AcceleratorModel::generate results are address-stable for the
+/// model's lifetime) and materializes copies only for surviving solutions;
+/// this equality is what the new-vs-reference differential tests compare.
+inline bool operator==(const AcceleratorConfig& a,
+                       const AcceleratorConfig& b) {
+  return a.region == b.region && a.loops == b.loops && a.ifaces == b.ifaces &&
+         a.cycles == b.cycles && a.cpuCycles == b.cpuCycles &&
+         a.areaUm2 == b.areaUm2 && a.numSeqBlocks == b.numSeqBlocks &&
+         a.numPipelinedRegions == b.numPipelinedRegions &&
+         a.numCoupled == b.numCoupled && a.numDecoupled == b.numDecoupled &&
+         a.numScratchpad == b.numScratchpad;
+}
+inline bool operator!=(const AcceleratorConfig& a,
+                       const AcceleratorConfig& b) {
+  return !(a == b);
+}
 
 }  // namespace cayman::accel

@@ -30,20 +30,23 @@ QsCoresFlow::QsCoresFlow(const analysis::WPst& wpst,
     : model_(wpst, profile, tech, scanChainTiming(), restrictedParams()) {}
 
 std::vector<select::Solution> QsCoresFlow::paretoFront(
-    double areaBudgetUm2, double clockRatio) const {
+    double areaBudgetUm2, double clockRatio,
+    select::SelectMode mode) const {
   select::SelectorParams params;
   params.areaBudgetUm2 = areaBudgetUm2;
   params.clockRatio = clockRatio;
+  params.mode = mode;
   select::CandidateSelector selector(model_, params);
   select::CandidateSelector::Stats stats;
   return selector.select(stats);
 }
 
-select::Solution QsCoresFlow::best(double areaBudgetUm2,
-                                   double clockRatio) const {
+select::Solution QsCoresFlow::best(double areaBudgetUm2, double clockRatio,
+                                   select::SelectMode mode) const {
   select::SelectorParams params;
   params.areaBudgetUm2 = areaBudgetUm2;
   params.clockRatio = clockRatio;
+  params.mode = mode;
   select::CandidateSelector selector(model_, params);
   select::CandidateSelector::Stats stats;
   return selector.best(stats);

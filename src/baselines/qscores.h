@@ -24,9 +24,13 @@ class QsCoresFlow {
 
   /// Both are safe to call concurrently: selection state is per-call and
   /// the restricted model's generate cache is internally synchronized.
-  std::vector<select::Solution> paretoFront(double areaBudgetUm2,
-                                            double clockRatio = 1.25) const;
-  select::Solution best(double areaBudgetUm2, double clockRatio = 1.25) const;
+  /// `mode` selects the DP engine (bit-identical results either way).
+  std::vector<select::Solution> paretoFront(
+      double areaBudgetUm2, double clockRatio = 1.25,
+      select::SelectMode mode = select::SelectMode::Frontier) const;
+  select::Solution best(
+      double areaBudgetUm2, double clockRatio = 1.25,
+      select::SelectMode mode = select::SelectMode::Frontier) const;
 
   const accel::AcceleratorModel& model() const { return model_; }
 

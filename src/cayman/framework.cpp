@@ -86,6 +86,7 @@ select::SelectorParams Framework::selectorParams(double budgetRatio) const {
   params.alpha = options_.alpha;
   params.pruneHotFraction = options_.pruneHotFraction;
   params.clockRatio = options_.clockRatio();
+  params.mode = options_.selectMode;
   params.cancel = options_.cancel;
   return params;
 }
@@ -132,7 +133,7 @@ EvaluationReport Framework::evaluate(double budgetRatio) const {
         novia_->best(budgetUm2(budgetRatio));
     report.noviaSpeedup = noviaBest.speedup(tAll);
     select::Solution qscoresBest =
-        qscores_->best(budgetUm2(budgetRatio), ratio);
+        qscores_->best(budgetUm2(budgetRatio), ratio, options_.selectMode);
     report.qscoresSpeedup = qscoresBest.speedup(tAll, ratio);
   });
 

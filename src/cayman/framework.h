@@ -36,6 +36,10 @@ struct FrameworkOptions {
   double pruneHotFraction = 5e-4;
   /// Disable decoupled/scratchpad interfaces (Fig. 6's "coupled-only").
   bool coupledOnly = false;
+  /// Which selector DP runs Algorithm 1 (also forwarded to the QsCores
+  /// baseline's selector). Reference is the slow oracle for differential
+  /// testing; both produce bit-identical evaluations.
+  select::SelectMode selectMode = select::SelectMode::Frontier;
 
   /// Per-workload wall-clock deadline in seconds (<= 0 disables). Policy
   /// knob only: the driver converts it into a CancelToken deadline; the

@@ -33,6 +33,15 @@ struct AccessIface {
   bool promoted = false;
 };
 
+inline bool operator==(const AccessIface& a, const AccessIface& b) {
+  return a.kind == b.kind && a.partitions == b.partitions &&
+         a.array == b.array && a.footprintBytes == b.footprintBytes &&
+         a.promoted == b.promoted;
+}
+inline bool operator!=(const AccessIface& a, const AccessIface& b) {
+  return !(a == b);
+}
+
 /// Timing parameters of the interfaces. The defaults are calibrated so the
 /// paper's Fig. 4 example reproduces: sequential 6N vs 4N, pipelined II 3
 /// vs 1, unrolled-by-2 9(N/2) vs 4(N/2).

@@ -1,10 +1,30 @@
 #include "select/pareto.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "support/trace.h"
 
 namespace cayman::select {
+
+namespace {
+
+#ifndef NDEBUG
+/// Debug postcondition of pareto(): strictly area-ascending with strictly
+/// increasing saved cycles (see pareto.h).
+bool isStrictFront(const std::vector<Solution>& front, double clockRatio) {
+  for (size_t i = 1; i < front.size(); ++i) {
+    if (!(front[i - 1].areaUm2 < front[i].areaUm2)) return false;
+    if (!(front[i - 1].savedCycles(clockRatio) <
+          front[i].savedCycles(clockRatio))) {
+      return false;
+    }
+  }
+  return true;
+}
+#endif
+
+}  // namespace
 
 std::vector<Solution> pareto(std::vector<Solution> solutions,
                              double clockRatio) {
@@ -26,6 +46,8 @@ std::vector<Solution> pareto(std::vector<Solution> solutions,
     support::trace::count("select.pareto_dropped",
                           solutions.size() - front.size());
   }
+  assert(isStrictFront(front, clockRatio) &&
+         "pareto() front not strictly monotone");
   return front;
 }
 
@@ -51,15 +73,17 @@ std::vector<Solution> filterByAlpha(std::vector<Solution> solutions,
 
 std::vector<Solution> combine(const std::vector<Solution>& a,
                               const std::vector<Solution>& b,
-                              double areaBudget, double clockRatio) {
+                              double areaBudget, double clockRatio,
+                              uint64_t* pairsAdmitted) {
   std::vector<Solution> merged;
-  merged.reserve(a.size() * b.size());
+  merged.reserve(std::min(a.size() * b.size(), kCombineReserveCap));
   for (const Solution& x : a) {
     for (const Solution& y : b) {
       if (x.areaUm2 + y.areaUm2 > areaBudget) continue;
       merged.push_back(Solution::merge(x, y));
     }
   }
+  if (pairsAdmitted != nullptr) *pairsAdmitted += merged.size();
   return pareto(std::move(merged), clockRatio);
 }
 

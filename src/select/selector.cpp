@@ -1,5 +1,8 @@
 #include "select/selector.h"
 
+#include <cassert>
+
+#include "support/error.h"
 #include "support/trace.h"
 
 namespace cayman::select {
@@ -7,18 +10,56 @@ namespace cayman::select {
 using analysis::Region;
 using analysis::RegionKind;
 
-std::vector<Solution> CandidateSelector::dp(const Region* region,
-                                            Stats& stats) const {
+namespace {
+
+/// Peak-front bookkeeping, fired after every α-filter in both DP paths (the
+/// same program points, so the stat is mode-independent).
+void notePeak(CandidateSelector::Stats& stats, size_t frontSize) {
+  if (frontSize > stats.frontPeak) stats.frontPeak = frontSize;
+}
+
+}  // namespace
+
+const std::vector<accel::AcceleratorConfig>& CandidateSelector::candidatesFor(
+    const CandidateLists& lists, const Region* region) {
+  auto it = lists.find(region);
+  CAYMAN_ASSERT(it != lists.end(),
+                "selector pre-pass missed a region the DP queries");
+  return *it->second;
+}
+
+bool CandidateSelector::prunes(const Region* region) const {
+  // prune(v, R): regions that are not hotspots cannot pay for themselves —
+  // skip the whole subtree (their descendants are at most as hot). Root and
+  // Function vertices are structural and never pruned.
+  return (region->isBb() || region->isCtrlFlow()) &&
+         model_.profile().hotFraction(region) < params_.pruneHotFraction;
+}
+
+void CandidateSelector::collectCandidates(const Region* region,
+                                          CandidateLists& lists) const {
+  if (params_.cancel != nullptr) {
+    params_.cancel->check(support::Stage::Select, region->label());
+  }
+  if (prunes(region)) return;
+  if (region->kind() == RegionKind::Bb) {
+    lists.emplace(region, &model_.generate(region));
+    return;
+  }
+  for (const auto& child : region->children()) {
+    collectCandidates(child.get(), lists);
+  }
+  if (region->isCtrlFlow()) lists.emplace(region, &model_.generate(region));
+}
+
+std::vector<Solution> CandidateSelector::dpReference(
+    const Region* region, const CandidateLists& lists, Stats& stats) const {
   ++stats.regionsVisited;
   if (params_.cancel != nullptr) {
     params_.cancel->check(support::Stage::Select, region->label());
   }
 
-  // prune(v, R): regions that are not hotspots cannot pay for themselves —
-  // skip the whole subtree (their descendants are at most as hot). Root and
-  // Function vertices are structural and never pruned.
-  if ((region->isBb() || region->isCtrlFlow()) &&
-      model_.profile().hotFraction(region) < params_.pruneHotFraction) {
+  if (prunes(region)) {
     ++stats.regionsPruned;
     return {Solution{}};
   }
@@ -27,40 +68,122 @@ std::vector<Solution> CandidateSelector::dp(const Region* region,
 
   if (region->kind() == RegionKind::Bb) {
     std::vector<Solution> options{Solution{}};
-    for (const accel::AcceleratorConfig& config : model_.generate(region)) {
+    for (const accel::AcceleratorConfig& config :
+         candidatesFor(lists, region)) {
       ++stats.configsGenerated;
       if (config.areaUm2 > params_.areaBudgetUm2) continue;
+      ++stats.singleConfigSolutions;
       options.push_back(Solution::fromConfig(config));
     }
-    return filterByAlpha(pareto(std::move(options), params_.clockRatio),
-                         params_.alpha);
+    front = filterByAlpha(pareto(std::move(options), params_.clockRatio),
+                          params_.alpha);
+    notePeak(stats, front.size());
+    return front;
   }
 
   // Combine children subtrees (⊗ over siblings).
   for (const auto& child : region->children()) {
-    std::vector<Solution> childFront = dp(child.get(), stats);
+    std::vector<Solution> childFront = dpReference(child.get(), lists, stats);
     front = filterByAlpha(
-        combine(front, childFront, params_.areaBudgetUm2, params_.clockRatio),
+        combine(front, childFront, params_.areaBudgetUm2, params_.clockRatio,
+                &stats.combinePairs),
         params_.alpha);
+    notePeak(stats, front.size());
   }
 
   // ctrl-flow regions may alternatively be selected whole.
   if (region->isCtrlFlow()) {
-    for (const accel::AcceleratorConfig& config : model_.generate(region)) {
+    for (const accel::AcceleratorConfig& config :
+         candidatesFor(lists, region)) {
       ++stats.configsGenerated;
       if (config.areaUm2 > params_.areaBudgetUm2) continue;
+      ++stats.singleConfigSolutions;
       front.push_back(Solution::fromConfig(config));
     }
     front = filterByAlpha(pareto(std::move(front), params_.clockRatio),
                           params_.alpha);
+    notePeak(stats, front.size());
+  }
+  return front;
+}
+
+std::vector<FrontierEntry> CandidateSelector::dpFrontier(
+    const Region* region, const CandidateLists& lists, Stats& stats,
+    SolutionArena& arena) const {
+  ++stats.regionsVisited;
+  if (params_.cancel != nullptr) {
+    params_.cancel->check(support::Stage::Select, region->label());
+  }
+
+  if (prunes(region)) {
+    ++stats.regionsPruned;
+    return {FrontierEntry{}};
+  }
+
+  std::vector<FrontierEntry> front{FrontierEntry{}};
+
+  if (region->kind() == RegionKind::Bb) {
+    std::vector<FrontierEntry> options{FrontierEntry{}};
+    for (const accel::AcceleratorConfig& config :
+         candidatesFor(lists, region)) {
+      ++stats.configsGenerated;
+      if (config.areaUm2 > params_.areaBudgetUm2) continue;
+      ++stats.singleConfigSolutions;
+      options.push_back(entryFromConfig(config, params_.clockRatio, arena));
+    }
+    front = filterByAlpha(pareto(std::move(options)), params_.alpha);
+    notePeak(stats, front.size());
+    return front;
+  }
+
+  for (const auto& child : region->children()) {
+    std::vector<FrontierEntry> childFront =
+        dpFrontier(child.get(), lists, stats, arena);
+    front = filterByAlpha(
+        combine(front, childFront, params_.areaBudgetUm2, params_.clockRatio,
+                arena, &stats.combinePairs),
+        params_.alpha);
+    notePeak(stats, front.size());
+  }
+
+  if (region->isCtrlFlow()) {
+    for (const accel::AcceleratorConfig& config :
+         candidatesFor(lists, region)) {
+      ++stats.configsGenerated;
+      if (config.areaUm2 > params_.areaBudgetUm2) continue;
+      ++stats.singleConfigSolutions;
+      front.push_back(entryFromConfig(config, params_.clockRatio, arena));
+    }
+    front = filterByAlpha(pareto(std::move(front)), params_.alpha);
+    notePeak(stats, front.size());
   }
   return front;
 }
 
 std::vector<Solution> CandidateSelector::select(Stats& stats) const {
   stats = Stats{};
+  // Candidate generation first, outside the span: it is memoized model work
+  // shared by every budget sweep and both DP engines, and folding its cold
+  // first computation into select.dp made the DP look ~5x more expensive
+  // than it is. No new span is opened for it, so the deterministic trace
+  // event stream is unchanged.
+  CandidateLists lists;
+  collectCandidates(model_.wpst().root(), lists);
   support::trace::Span span("select.dp", "select");
-  std::vector<Solution> front = dp(model_.wpst().root(), stats);
+  std::vector<Solution> front;
+  if (params_.mode == SelectMode::Reference) {
+    front = dpReference(model_.wpst().root(), lists, stats);
+  } else {
+    SolutionArena arena;
+    std::vector<FrontierEntry> entries =
+        dpFrontier(model_.wpst().root(), lists, stats, arena);
+    assert(arena.nodeCount() == stats.arenaNodes() &&
+           "arena grew out of step with the leaf/pair counters");
+    front.reserve(entries.size());
+    for (const FrontierEntry& entry : entries) {
+      front.push_back(materialize(entry, arena));
+    }
+  }
   if (support::trace::on()) {
     support::trace::count("select.regions_visited",
                           static_cast<uint64_t>(stats.regionsVisited));
@@ -68,6 +191,10 @@ std::vector<Solution> CandidateSelector::select(Stats& stats) const {
                           static_cast<uint64_t>(stats.regionsPruned));
     support::trace::count("select.configs_generated",
                           static_cast<uint64_t>(stats.configsGenerated));
+    support::trace::count("select.combine_pairs", stats.combinePairs);
+    support::trace::count("select.front_peak",
+                          static_cast<uint64_t>(stats.frontPeak));
+    support::trace::count("select.arena_nodes", stats.arenaNodes());
   }
   return front;
 }

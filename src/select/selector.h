@@ -3,11 +3,27 @@
 // α-filter and heuristic hotspot pruning.
 #pragma once
 
+#include <unordered_map>
+
 #include "accel/model.h"
+#include "select/frontier.h"
 #include "select/pareto.h"
 #include "support/cancellation.h"
 
 namespace cayman::select {
+
+/// Which DP engine runs Algorithm 1. Both produce bit-identical fronts (a
+/// property the differential tests pin over all 28 workloads); Frontier is
+/// strictly faster.
+enum class SelectMode {
+  /// Frontier-compressed DP (default): scalar cost records with O(1)
+  /// merges, arena-backed reconstruction, sorted-front combine with early
+  /// budget break-out. See select/frontier.h.
+  Frontier,
+  /// The original Solution-copying DP, kept in-tree as the differential
+  /// oracle (the same role ExecMode::Reference plays for the interpreter).
+  Reference,
+};
 
 struct SelectorParams {
   /// Knapsack area limit (um^2). Table II uses 25% / 65% of a CVA6 tile.
@@ -20,6 +36,8 @@ struct SelectorParams {
   /// cycle units). 1.25 = 500 MHz accelerators beside a 625 MHz CVA6 on the
   /// same 45nm node.
   double clockRatio = 1.25;
+  /// DP engine; Reference exists for differential testing and debugging.
+  SelectMode mode = SelectMode::Frontier;
   /// Optional cooperative cancellation: the DP polls this once per region
   /// visit and aborts with support::CancelledError when expired. Must
   /// outlive the selector run; nullptr disables the checks.
@@ -36,6 +54,17 @@ class CandidateSelector {
     int regionsVisited = 0;
     int regionsPruned = 0;
     int configsGenerated = 0;
+    /// ⊗ pairs admitted under the area budget across all combines.
+    uint64_t combinePairs = 0;
+    /// Single-config solutions created (arena leaves in frontier mode).
+    uint64_t singleConfigSolutions = 0;
+    /// Largest post-filter front either DP path carried.
+    size_t frontPeak = 0;
+
+    /// Reconstruction-arena size the run implies: one node per leaf plus
+    /// one per admitted merge. Counted identically in both modes so
+    /// exported metrics stay byte-identical across SelectMode.
+    uint64_t arenaNodes() const { return singleConfigSolutions + combinePairs; }
   };
 
   /// Runs Algorithm 1 and returns F[root]: the Pareto-optimal solution
@@ -57,7 +86,36 @@ class CandidateSelector {
   const SelectorParams& params() const { return params_; }
 
  private:
-  std::vector<Solution> dp(const analysis::Region* region, Stats& stats) const;
+  /// Candidate lists the DP consumes, keyed by region. Lookup-only (never
+  /// iterated), so the pointer keys cannot leak into output ordering.
+  using CandidateLists =
+      std::unordered_map<const analysis::Region*,
+                         const std::vector<accel::AcceleratorConfig>*>;
+
+  /// True when the DP prunes this region's subtree (the hotspot heuristic).
+  bool prunes(const analysis::Region* region) const;
+
+  /// Pre-pass mirroring the DP traversal: calls model_.generate() exactly
+  /// once per region the DP will query — the same call pattern the DP used
+  /// to make inline, so model.cache_* counter totals are unchanged — and
+  /// records the cached lists. Runs outside the select.dp span: generation
+  /// is memoized, budget-independent model work, and attributing its first
+  /// (cold) computation to the DP span hid what the DP itself costs.
+  void collectCandidates(const analysis::Region* region,
+                         CandidateLists& lists) const;
+
+  /// Looks up a pre-collected candidate list; the pre-pass mirrors the DP
+  /// traversal exactly, so a miss is a traversal bug, not a data condition.
+  static const std::vector<accel::AcceleratorConfig>& candidatesFor(
+      const CandidateLists& lists, const analysis::Region* region);
+
+  std::vector<Solution> dpReference(const analysis::Region* region,
+                                    const CandidateLists& lists,
+                                    Stats& stats) const;
+  std::vector<FrontierEntry> dpFrontier(const analysis::Region* region,
+                                        const CandidateLists& lists,
+                                        Stats& stats,
+                                        SolutionArena& arena) const;
 
   const accel::AcceleratorModel& model_;
   SelectorParams params_;

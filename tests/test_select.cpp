@@ -112,6 +112,58 @@ TEST(FilterTest, AlphaOneIsIdentity) {
   EXPECT_EQ(filterByAlpha(front, 1.0).size(), front.size());
 }
 
+TEST(FilterTest, SizeTwoOrFewerIsIdentity) {
+  // The α-filter always keeps both endpoints, so fronts of size <= 2 pass
+  // through untouched regardless of how aggressive the filter is.
+  std::vector<Solution> empty;
+  EXPECT_TRUE(filterByAlpha(empty, 8.0).empty());
+  std::vector<Solution> one{makeSolution(5.0, 100, 10)};
+  EXPECT_EQ(filterByAlpha(one, 8.0).size(), 1u);
+  std::vector<Solution> two{Solution{}, makeSolution(5.0, 100, 10)};
+  std::vector<Solution> kept = filterByAlpha(two, 8.0);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_TRUE(kept[0].empty());
+  EXPECT_DOUBLE_EQ(kept[1].areaUm2, 5.0);
+}
+
+TEST(FilterTest, AlphaBelowOneIsIdentity) {
+  std::vector<Solution> front;
+  front.push_back(Solution{});
+  front.push_back(makeSolution(1.0, 10, 1));
+  front.push_back(makeSolution(1.5, 20, 1));
+  front.push_back(makeSolution(2.0, 30, 1));
+  EXPECT_EQ(filterByAlpha(front, 0.5).size(), front.size());
+  EXPECT_EQ(filterByAlpha(front, 1.0).size(), front.size());
+}
+
+TEST(FilterTest, EqualAreaRunsCollapseToEndpoints) {
+  // A run of equal-area interior solutions can never exceed α times the
+  // previously kept area, so only the endpoints survive.
+  std::vector<Solution> front;
+  front.push_back(Solution{});
+  for (int i = 0; i < 5; ++i) {
+    front.push_back(makeSolution(10.0, 100 + 10 * i, 10));
+  }
+  std::vector<Solution> kept = filterByAlpha(front, 1.12);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_TRUE(kept[0].empty());
+  EXPECT_DOUBLE_EQ(kept[1].areaUm2, 10.0);  // first of the run
+  EXPECT_DOUBLE_EQ(kept[2].areaUm2, 10.0);  // last always retained
+  EXPECT_DOUBLE_EQ(kept[2].cpuCycles, 140.0);
+}
+
+TEST(FilterTest, FirstAndLastAlwaysRetained) {
+  std::vector<Solution> front;
+  front.push_back(makeSolution(2.0, 10, 1));
+  front.push_back(makeSolution(2.1, 20, 1));
+  front.push_back(makeSolution(2.2, 30, 1));
+  front.push_back(makeSolution(2.3, 40, 1));
+  std::vector<Solution> kept = filterByAlpha(front, 100.0);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept.front().areaUm2, 2.0);
+  EXPECT_DOUBLE_EQ(kept.back().areaUm2, 2.3);
+}
+
 TEST(CombineTest, CrossProductsRespectBudget) {
   std::vector<Solution> a{Solution{}, makeSolution(60, 500, 50)};
   std::vector<Solution> b{Solution{}, makeSolution(70, 600, 60)};
@@ -205,6 +257,139 @@ TEST(ParetoPropertyTest, CombineOutputAlsoNonDominated) {
       EXPECT_FALSE(dominates(combined[i], combined[j], kRatio));
     }
   }
+}
+
+TEST(ParetoPropertyTest, OutputIsStrictlyMonotone) {
+  // The postcondition combine()'s early budget break-out depends on (also
+  // assert()ed inside pareto() in debug builds): strictly ascending area
+  // with strictly increasing saved cycles.
+  for (uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL, 99999ULL}) {
+    Lcg rng(seed);
+    std::vector<Solution> front = pareto(randomSolutions(rng, 120), kRatio);
+    for (size_t i = 1; i < front.size(); ++i) {
+      EXPECT_LT(front[i - 1].areaUm2, front[i].areaUm2) << "seed " << seed;
+      EXPECT_LT(front[i - 1].savedCycles(kRatio),
+                front[i].savedCycles(kRatio))
+          << "seed " << seed;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Frontier representation: pareto / α-filter mirror the Solution overloads
+// exactly (the combine and full-DP equivalences live in
+// test_select_differential.cpp).
+// --------------------------------------------------------------------------
+
+std::vector<accel::AcceleratorConfig> randomConfigs(Lcg& rng, size_t count) {
+  std::vector<accel::AcceleratorConfig> configs(count);
+  for (accel::AcceleratorConfig& config : configs) {
+    config.areaUm2 = rng.uniform(1.0, 500.0);
+    config.cpuCycles = rng.uniform(0.0, 2000.0);
+    config.cycles = rng.uniform(0.0, 1500.0);
+  }
+  return configs;
+}
+
+std::vector<Solution> solutionsFrom(
+    const std::vector<accel::AcceleratorConfig>& configs) {
+  std::vector<Solution> solutions{Solution{}};
+  for (const accel::AcceleratorConfig& config : configs) {
+    solutions.push_back(Solution::fromConfig(config));
+  }
+  return solutions;
+}
+
+std::vector<FrontierEntry> entriesFrom(
+    const std::vector<accel::AcceleratorConfig>& configs,
+    SolutionArena& arena) {
+  std::vector<FrontierEntry> entries{FrontierEntry{}};
+  for (const accel::AcceleratorConfig& config : configs) {
+    entries.push_back(entryFromConfig(config, kRatio, arena));
+  }
+  return entries;
+}
+
+void expectSameFront(const std::vector<Solution>& solutions,
+                     const std::vector<FrontierEntry>& entries,
+                     const SolutionArena& arena) {
+  ASSERT_EQ(solutions.size(), entries.size());
+  for (size_t i = 0; i < solutions.size(); ++i) {
+    // Bit-exact scalar agreement, not approximate.
+    EXPECT_EQ(solutions[i].areaUm2, entries[i].areaUm2) << "index " << i;
+    EXPECT_EQ(solutions[i].accelCycles, entries[i].accelCycles)
+        << "index " << i;
+    EXPECT_EQ(solutions[i].cpuCycles, entries[i].cpuCycles) << "index " << i;
+    EXPECT_EQ(solutions[i].savedCycles(kRatio), entries[i].savedCycles)
+        << "index " << i;
+    Solution materialized = materialize(entries[i], arena);
+    ASSERT_EQ(solutions[i].accelerators.size(),
+              materialized.accelerators.size())
+        << "index " << i;
+    for (size_t k = 0; k < materialized.accelerators.size(); ++k) {
+      EXPECT_TRUE(solutions[i].accelerators[k] == materialized.accelerators[k])
+          << "index " << i << " accelerator " << k;
+    }
+  }
+}
+
+TEST(FrontierTest, ParetoMatchesSolutionOverloadAndIsStrict) {
+  for (uint64_t seed : {5ULL, 21ULL, 77ULL, 31337ULL}) {
+    Lcg rng(seed);
+    std::vector<accel::AcceleratorConfig> configs = randomConfigs(rng, 120);
+    SolutionArena arena;
+    std::vector<Solution> sFront = pareto(solutionsFrom(configs), kRatio);
+    std::vector<FrontierEntry> eFront = pareto(entriesFrom(configs, arena));
+    expectSameFront(sFront, eFront, arena);
+    for (size_t i = 1; i < eFront.size(); ++i) {
+      EXPECT_LT(eFront[i - 1].areaUm2, eFront[i].areaUm2) << "seed " << seed;
+      EXPECT_LT(eFront[i - 1].savedCycles, eFront[i].savedCycles)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(FrontierTest, FilterMatchesSolutionOverload) {
+  for (double alpha : {1.02, 1.12, 1.5, 4.0}) {
+    Lcg rng(99);
+    std::vector<accel::AcceleratorConfig> configs = randomConfigs(rng, 80);
+    SolutionArena arena;
+    std::vector<Solution> sKept =
+        filterByAlpha(pareto(solutionsFrom(configs), kRatio), alpha);
+    std::vector<FrontierEntry> eKept =
+        filterByAlpha(pareto(entriesFrom(configs, arena)), alpha);
+    expectSameFront(sKept, eKept, arena);
+  }
+}
+
+TEST(FrontierTest, MergeEntriesMatchesSolutionMerge) {
+  Lcg rng(12);
+  std::vector<accel::AcceleratorConfig> configs = randomConfigs(rng, 6);
+  SolutionArena arena;
+  Solution sa = Solution::fromConfig(configs[0]);
+  Solution sb = Solution::merge(Solution::fromConfig(configs[1]),
+                                Solution::fromConfig(configs[2]));
+  FrontierEntry ea = entryFromConfig(configs[0], kRatio, arena);
+  FrontierEntry eb = mergeEntries(entryFromConfig(configs[1], kRatio, arena),
+                                  entryFromConfig(configs[2], kRatio, arena),
+                                  kRatio, arena);
+  Solution sm = Solution::merge(sa, sb);
+  FrontierEntry em = mergeEntries(ea, eb, kRatio, arena);
+  EXPECT_EQ(sm.areaUm2, em.areaUm2);
+  EXPECT_EQ(sm.accelCycles, em.accelCycles);
+  EXPECT_EQ(sm.cpuCycles, em.cpuCycles);
+  EXPECT_EQ(sm.savedCycles(kRatio), em.savedCycles);
+  // Materialization walks left-before-right: Solution::merge's
+  // concatenation order.
+  Solution materialized = materialize(em, arena);
+  ASSERT_EQ(materialized.accelerators.size(), 3u);
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_TRUE(sm.accelerators[k] == materialized.accelerators[k]);
+  }
+  // Merging with the empty entry is the identity on scalars and configs.
+  FrontierEntry withEmpty = mergeEntries(em, FrontierEntry{}, kRatio, arena);
+  EXPECT_EQ(withEmpty.areaUm2, em.areaUm2);
+  EXPECT_EQ(materialize(withEmpty, arena).accelerators.size(), 3u);
 }
 
 // --------------------------------------------------------------------------
