@@ -1,0 +1,124 @@
+// Accelerator-model micro-benchmarks (google-benchmark): candidate
+// generation on the largest workloads in both design-space engines, cold
+// (fresh model, eager warmGenerateCache over every candidate region) and
+// warm (memoized generate() reads), plus a synthetic deep-loop-nest stress
+// kernel whose every level is a candidate region. The per-iteration counters
+// report the estimate()/scheduleBlock() totals behind BENCH_model.json.
+#include <benchmark/benchmark.h>
+
+#include "cayman/framework.h"
+#include "ir/verifier.h"
+#include "workloads/kernel_builder.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace cayman;
+
+FrameworkOptions optionsFor(accel::GenerateMode mode) {
+  FrameworkOptions options;
+  options.generateMode = mode;
+  return options;
+}
+
+// Cold generation: a fresh model per iteration (the Framework's profile and
+// analyses are reused; the model rebuilds its own caches), then an eager
+// sweep over every candidate region. This is the dominant model cost of one
+// evaluate-all row.
+void BM_GenerateCold(benchmark::State& state, const char* workload,
+                     accel::GenerateMode mode) {
+  Framework fw(workloads::build(workload), optionsFor(mode));
+  accel::ModelParams params = fw.model().params();
+  uint64_t estimates = 0;
+  uint64_t schedules = 0;
+  for (auto _ : state) {
+    accel::AcceleratorModel model(fw.wpst(), fw.profile(), fw.tech(),
+                                  hls::InterfaceTiming{}, params);
+    model.warmGenerateCache();
+    estimates = model.estimateCalls();
+    schedules = model.scheduleBlockCalls();
+    benchmark::DoNotOptimize(model.candidatesTotal());
+  }
+  state.counters["estimates"] = static_cast<double>(estimates);
+  state.counters["schedules"] = static_cast<double>(schedules);
+}
+BENCHMARK_CAPTURE(BM_GenerateCold, cjpeg_guided, "cjpeg",
+                  accel::GenerateMode::Guided);
+BENCHMARK_CAPTURE(BM_GenerateCold, cjpeg_reference, "cjpeg",
+                  accel::GenerateMode::Reference);
+BENCHMARK_CAPTURE(BM_GenerateCold, 3mm_guided, "3mm",
+                  accel::GenerateMode::Guided);
+BENCHMARK_CAPTURE(BM_GenerateCold, 3mm_reference, "3mm",
+                  accel::GenerateMode::Reference);
+
+// Warm generation: every call is a memoized cache read; this is what the
+// selector's pre-pass sees on repeated budget sweeps over one Framework.
+void BM_GenerateWarm(benchmark::State& state, const char* workload,
+                     accel::GenerateMode mode) {
+  Framework fw(workloads::build(workload), optionsFor(mode));
+  fw.model().warmGenerateCache();
+  for (auto _ : state) {
+    size_t configs = 0;
+    for (const analysis::Region* region : fw.wpst().allRegions()) {
+      configs += fw.model().generate(region).size();
+    }
+    benchmark::DoNotOptimize(configs);
+  }
+}
+BENCHMARK_CAPTURE(BM_GenerateWarm, cjpeg_guided, "cjpeg",
+                  accel::GenerateMode::Guided);
+BENCHMARK_CAPTURE(BM_GenerateWarm, cjpeg_reference, "cjpeg",
+                  accel::GenerateMode::Reference);
+
+// Synthetic deep-nest stress: depth-4 loop nest over f64 arrays with an
+// unrollable, pipelineable innermost body. Every nest level is its own
+// candidate region, so the ladder walk and the schedule cache are exercised
+// on a worst-case region tree rather than a real kernel's mix.
+std::unique_ptr<ir::Module> deepNestKernel(int64_t n) {
+  auto module = std::make_unique<ir::Module>("deepnest");
+  auto* a = module->addGlobal("A", ir::Type::f64(),
+                              static_cast<uint64_t>(n * n));
+  auto* b = module->addGlobal("B", ir::Type::f64(),
+                              static_cast<uint64_t>(n * n));
+  workloads::KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* i = kb.beginLoop(0, n, "i");
+  ir::Value* j = kb.beginLoop(0, n, "j");
+  ir::Value* k = kb.beginLoop(0, n, "k");
+  ir::Value* l = kb.beginLoop(0, n, "l");
+  ir::Value* idx = kb.idx2(k, l, n);
+  ir::Value* v = kb.ir().fadd(kb.ir().fmul(kb.loadAt(a, idx), kb.loadAt(b, idx)),
+                              kb.loadAt(a, kb.idx2(i, j, n)));
+  kb.storeAt(b, idx, v);
+  kb.endLoop();
+  kb.endLoop();
+  kb.endLoop();
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+  return module;
+}
+
+void BM_GenerateDeepNest(benchmark::State& state, accel::GenerateMode mode) {
+  Framework fw(deepNestKernel(6), optionsFor(mode));
+  accel::ModelParams params = fw.model().params();
+  uint64_t estimates = 0;
+  uint64_t schedules = 0;
+  for (auto _ : state) {
+    accel::AcceleratorModel model(fw.wpst(), fw.profile(), fw.tech(),
+                                  hls::InterfaceTiming{}, params);
+    model.warmGenerateCache();
+    estimates = model.estimateCalls();
+    schedules = model.scheduleBlockCalls();
+    benchmark::DoNotOptimize(model.candidatesTotal());
+  }
+  state.counters["estimates"] = static_cast<double>(estimates);
+  state.counters["schedules"] = static_cast<double>(schedules);
+}
+BENCHMARK_CAPTURE(BM_GenerateDeepNest, guided, accel::GenerateMode::Guided);
+BENCHMARK_CAPTURE(BM_GenerateDeepNest, reference,
+                  accel::GenerateMode::Reference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,8 +1,10 @@
 #include "accel/model.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "support/trace.h"
 
@@ -216,17 +218,85 @@ const std::vector<AcceleratorConfig>& AcceleratorModel::generate(
 }
 
 void AcceleratorModel::warmGenerateCache() const {
-  wpst_.root()->walk([this](const Region& region) { generate(&region); });
+  wpst_.root()->walk([this](const Region& region) {
+    if (params_.cancel != nullptr) {
+      params_.cancel->check(support::Stage::Select, region.label());
+    }
+    generate(&region);
+  });
+}
+
+const analysis::RooflineAnalysis& AcceleratorModel::roofline() const {
+  std::lock_guard<std::mutex> lock(rooflineMutex_);
+  if (roofline_ == nullptr) {
+    roofline_ = std::make_unique<analysis::RooflineAnalysis>(
+        wpst_, profile_, tech_, scheduler_.timing(), params_.clockNs,
+        params_.unknownTripFallback);
+  }
+  return *roofline_;
 }
 
 std::vector<AcceleratorConfig> AcceleratorModel::generateUncached(
     const Region* region) const {
+  if (params_.injectGenerateStallUs > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(params_.injectGenerateStallUs));
+  }
+  if (params_.cancel != nullptr) {
+    params_.cancel->check(support::Stage::Select, region->label());
+  }
   std::vector<AcceleratorConfig> result;
   if (!region->isCandidate()) return result;
   // Regions that never executed cannot gain anything.
   if (profile_.cycles(region) <= 0.0) return result;
 
+  result = params_.generateMode == GenerateMode::Reference
+               ? generateReference(region)
+               : generateGuided(region);
+
+  // Drop dominated duplicates (same cycles and area).
+  std::sort(result.begin(), result.end(),
+            [](const AcceleratorConfig& a, const AcceleratorConfig& b) {
+              return a.areaUm2 < b.areaUm2;
+            });
+  std::vector<AcceleratorConfig> unique;
+  for (AcceleratorConfig& config : result) {
+    if (!unique.empty() &&
+        std::abs(unique.back().areaUm2 - config.areaUm2) < 1e-9 &&
+        std::abs(unique.back().cycles - config.cycles) < 1e-9) {
+      continue;
+    }
+    unique.push_back(std::move(config));
+  }
+  // Guided mode also drops strictly dominated points (the guardrail walk
+  // estimates one worsening step per region to observe the cutoff; that
+  // point is dominated by an already-kept cheaper config and the selector
+  // could never pick it). Reference keeps them: its list is the enumeration
+  // oracle, and the differential tests pin guided fronts against it.
+  if (params_.generateMode == GenerateMode::Guided) {
+    std::vector<AcceleratorConfig> front;
+    for (size_t i = 0; i < unique.size(); ++i) {
+      bool dominated = false;
+      for (size_t j = 0; j < unique.size() && !dominated; ++j) {
+        dominated = j != i && unique[j].areaUm2 <= unique[i].areaUm2 &&
+                    unique[j].cycles < unique[i].cycles;
+      }
+      if (!dominated) front.push_back(std::move(unique[i]));
+    }
+    unique = std::move(front);
+  }
+  candidatesTotal_.fetch_add(unique.size(), std::memory_order_relaxed);
+  support::trace::count("model.candidates_total", unique.size());
+  return unique;
+}
+
+std::vector<AcceleratorConfig> AcceleratorModel::generateReference(
+    const Region* region) const {
+  std::vector<AcceleratorConfig> result;
   auto makeConfig = [&](unsigned unroll, bool optimize) {
+    if (params_.cancel != nullptr) {
+      params_.cancel->check(support::Stage::Select, region->label());
+    }
     AcceleratorConfig config;
     config.region = region;
     config.loops = makeLoopConfigs(region, unroll, optimize);
@@ -252,22 +322,212 @@ std::vector<AcceleratorConfig> AcceleratorModel::generateUncached(
       result.push_back(makeConfig(1, /*optimize=*/true));
     }
   }
+  return result;
+}
 
-  // Drop dominated duplicates (same cycles and area).
-  std::sort(result.begin(), result.end(),
-            [](const AcceleratorConfig& a, const AcceleratorConfig& b) {
-              return a.areaUm2 < b.areaUm2;
-            });
-  std::vector<AcceleratorConfig> unique;
-  for (AcceleratorConfig& config : result) {
-    if (!unique.empty() &&
-        std::abs(unique.back().areaUm2 - config.areaUm2) < 1e-9 &&
-        std::abs(unique.back().cycles - config.cycles) < 1e-9) {
+double AcceleratorModel::iiTreeTerm(
+    const Region* region, const std::vector<LoopConfig>& loops,
+    const hls::IfaceAssignment& ifaces) const {
+  const KernelAnalyses& ka = analysesFor(region->function());
+  double total = 0.0;
+  region->walk([&](const Region& r) {
+    if (r.kind() != RegionKind::Loop) return;
+    const LoopConfig* lc = nullptr;
+    for (const LoopConfig& candidate : loops) {
+      if (candidate.loop == r.loop()) {
+        lc = &candidate;
+        break;
+      }
+    }
+    if (lc == nullptr || !lc->pipelined) return;
+    // Mirror of estimateRegion's pipelined branch, minus the terms that do
+    // not depend on the unroll factor (depth, start/drain control, promoted
+    // brackets, DMA). Pipelined loops are innermost, so the unroll context
+    // above them is always 1 and the datapath width equals lc->unroll.
+    const ir::BasicBlock* body = nullptr;
+    for (const auto& child : r.children()) {
+      const ir::BasicBlock* block = child->block();
+      if (block != r.loop()->header() && block != r.loop()->latch()) {
+        body = block;
+      }
+    }
+    if (body == nullptr) return;
+    unsigned unroll = std::max(1u, lc->unroll);
+    double entries =
+        std::max<double>(1.0, static_cast<double>(profile_.entries(&r)));
+    double iterations = std::ceil(tripCount(r.loop()) /
+                                  static_cast<double>(unroll));
+    unsigned ii = std::max(
+        scheduler_.recMII(ka.mem.carriedDeps(r.loop()), ifaces),
+        scheduler_.resMII(*body, ifaces, unroll));
+    double perEntry = static_cast<double>(hls::Scheduler::pipelinedCycles(
+        static_cast<uint64_t>(iterations), 0, ii));
+    for (unsigned lanes = unroll; lanes > 1; lanes /= 2) {
+      perEntry += 3.0;  // reduction-tree level, as in estimateRegion
+    }
+    total += entries * perEntry;
+  });
+  return total;
+}
+
+std::vector<AcceleratorConfig> AcceleratorModel::generateGuided(
+    const Region* region) const {
+  // Unrolling without pipelining reshapes sequential-loop costs in ways the
+  // II term below does not model; that ablation keeps the exhaustive
+  // enumerator (the stock pipeline never uses it — QsCores disables both).
+  if (params_.allowUnrolling && !params_.allowPipelining) {
+    return generateReference(region);
+  }
+
+  auto makeConfig = [&](std::vector<LoopConfig> loops,
+                        hls::IfaceAssignment ifaces) {
+    if (params_.cancel != nullptr) {
+      params_.cancel->check(support::Stage::Select, region->label());
+    }
+    AcceleratorConfig config;
+    config.region = region;
+    config.loops = std::move(loops);
+    config.ifaces = std::move(ifaces);
+    estimate(config);
+    return config;
+  };
+
+  std::vector<AcceleratorConfig> result;
+  // Cheapest point: fully sequential (same as the reference enumerator).
+  {
+    std::vector<LoopConfig> loops = makeLoopConfigs(region, 1, false);
+    hls::IfaceAssignment ifaces = assignInterfaces(region, loops);
+    result.push_back(makeConfig(std::move(loops), std::move(ifaces)));
+  }
+  const std::vector<LoopConfig>& baselineLoops = result.front().loops;
+
+  bool hasLoops = false;
+  region->walk([&](const Region& r) {
+    hasLoops |= r.kind() == RegionKind::Loop;
+  });
+  if (!hasLoops || !(params_.allowPipelining || params_.allowUnrolling)) {
+    return result;
+  }
+
+  if (!params_.allowUnrolling) {
+    std::vector<LoopConfig> loops = makeLoopConfigs(region, 1, true);
+    // Structural dedupe: when nothing in the region is pipelineable the
+    // optimized point is the baseline again — interfaces are a
+    // deterministic function of the loop configs, so equal loop vectors
+    // mean equal configs.
+    if (loops != baselineLoops) {
+      hls::IfaceAssignment ifaces = assignInterfaces(region, loops);
+      result.push_back(makeConfig(std::move(loops), std::move(ifaces)));
+    }
+    return result;
+  }
+
+  // Roofline-directed unroll-ladder walk. Admission is analytic (MII
+  // bounds), estimation is guarded (branch-and-bound on the measured
+  // unroll-invariant part), and both preserve the per-region Pareto front:
+  // a skipped point is either structurally identical to a kept config or
+  // dominated by one (its II term, pipeline depth, and area are all no
+  // better than an admitted smaller-width point's).
+  const analysis::RegionRoofline& rf = roofline().classify(region);
+  struct Point {
+    unsigned unroll = 1;
+    std::vector<LoopConfig> loops;
+    hls::IfaceAssignment ifaces;
+    double iiTerm = 0.0;
+  };
+  std::vector<Point> admitted;
+  double bestTerm = std::numeric_limits<double>::infinity();
+  for (unsigned unroll : params_.unrollFactors) {
+    std::vector<LoopConfig> loops = makeLoopConfigs(region, unroll, true);
+    // Structural dedupe: ladder points that bind no loop collapse.
+    if (loops == baselineLoops) continue;
+    bool duplicate = false;
+    for (const Point& p : admitted) duplicate |= p.loops == loops;
+    if (duplicate) continue;
+    hls::IfaceAssignment ifaces = assignInterfaces(region, loops);
+    double term = iiTreeTerm(region, loops, ifaces);
+    // MII admission filter: a wider point whose recurrence/resource II term
+    // does not strictly improve is dominated — depth and area only grow
+    // with width. This is also what skips pipelining/unrolling wholesale
+    // when the recurrence MII pins the II (the term is then flat).
+    if (term >= bestTerm) {
+      // Bandwidth clamp: once a memory-bound region stops improving past
+      // the computed saturating factor, the port-limited II term can only
+      // ride the flat memory roof — end the ladder scan instead of probing
+      // wider points (compute-bound regions keep scanning: their ceil
+      // staircase can still step down at the iteration-collapse cliff).
+      if (rf.bottleneck == analysis::Bottleneck::MemoryBound &&
+          unroll > rf.saturatingUnroll) {
+        break;
+      }
       continue;
     }
-    unique.push_back(std::move(config));
+    bestTerm = term;
+    admitted.push_back(Point{unroll, std::move(loops), std::move(ifaces), term});
   }
-  return unique;
+
+  // Guarded estimation walk (compute-bound regions walk the ladder until a
+  // step scores worse than the bound allows): g tracks the measured
+  // unroll-invariant-plus-depth part, which only grows with width, so
+  // g + iiTerm lower-bounds any later point's cycles. A point whose bound
+  // cannot beat the best measured cycles is dominated (it is wider, so its
+  // area is no smaller).
+  double gLower = -std::numeric_limits<double>::infinity();
+  double bestCycles = std::numeric_limits<double>::infinity();
+  bool estimatedAny = false;
+  for (Point& p : admitted) {
+    if (estimatedAny && gLower + p.iiTerm >= bestCycles) continue;
+    AcceleratorConfig config =
+        makeConfig(std::move(p.loops), std::move(p.ifaces));
+    gLower = std::max(gLower, config.cycles - p.iiTerm);
+    bestCycles = std::min(bestCycles, config.cycles);
+    estimatedAny = true;
+    result.push_back(std::move(config));
+  }
+  return result;
+}
+
+hls::BlockSchedule AcceleratorModel::scheduleBlockCached(
+    const ir::BasicBlock& block, const hls::IfaceAssignment& ifaces,
+    unsigned unroll) const {
+  if (params_.generateMode == GenerateMode::Reference) {
+    return scheduler_.scheduleBlock(block, ifaces, unroll);
+  }
+  // The scheduler reads the assignment only through per-instruction
+  // ifaceFor() lookups, so the AccessIface of each memory access (in program
+  // order, defaulted like the scheduler defaults unmapped accesses) is a
+  // complete cache key for this (block, width). Normalized to the fields the
+  // schedule can observe: a promoted access is register-held (latency 0, no
+  // port, exempt from memory ordering) regardless of its other fields, and
+  // footprintBytes only prices scratchpad area in interfaceArea(), never the
+  // schedule — collapsing them turns nesting-level beta-rule variations of
+  // one block into cache hits.
+  std::vector<hls::AccessIface> signature;
+  for (const auto& inst : block.instructions()) {
+    if (!inst->isMemoryAccess()) continue;
+    auto it = ifaces.find(inst.get());
+    hls::AccessIface iface =
+        it == ifaces.end() ? hls::AccessIface{} : it->second;
+    if (iface.promoted) {
+      iface = hls::AccessIface{};
+      iface.promoted = true;
+    }
+    iface.footprintBytes = 0;
+    signature.push_back(iface);
+  }
+  const auto key = std::make_pair(&block, unroll);
+  // The lock spans the miss-path scheduling so concurrent selector runs
+  // cannot double-schedule one tuple: the sched.block_calls total must be
+  // deterministic across --jobs counts (the metrics exporter's byte-identity
+  // contract), and scheduleBlock is cheap enough that contention is noise.
+  std::lock_guard<std::mutex> lock(schedCacheMutex_);
+  std::vector<SchedCacheEntry>& entries = schedCache_[key];
+  for (const SchedCacheEntry& entry : entries) {
+    if (entry.signature == signature) return entry.schedule;
+  }
+  hls::BlockSchedule schedule = scheduler_.scheduleBlock(block, ifaces, unroll);
+  entries.push_back(SchedCacheEntry{std::move(signature), schedule});
+  return schedule;
 }
 
 AcceleratorModel::Estimate AcceleratorModel::estimateRegion(
@@ -283,7 +543,7 @@ AcceleratorModel::Estimate AcceleratorModel::estimateRegion(
           static_cast<double>(profile_.blockCount(block)) /
           static_cast<double>(unrollContext));
       hls::BlockSchedule sched =
-          scheduler_.scheduleBlock(*block, config.ifaces, unrollContext);
+          scheduleBlockCached(*block, config.ifaces, unrollContext);
       e.cycles = execs * static_cast<double>(sched.latency);
       e.area = sched.opAreaUm2 + sched.regAreaUm2 +
                tech_.fsmAreaPerState * sched.latency;
@@ -311,7 +571,7 @@ AcceleratorModel::Estimate AcceleratorModel::estimateRegion(
         CAYMAN_ASSERT(body != nullptr, "pipelined loop without body block");
         unsigned width = unroll * unrollContext;
         hls::BlockSchedule sched =
-            scheduler_.scheduleBlock(*body, config.ifaces, width);
+            scheduleBlockCached(*body, config.ifaces, width);
         unsigned depth = sched.latency + 1;  // +1: IV/exit-condition stage
         unsigned ii = std::max(
             scheduler_.recMII(ka.mem.carriedDeps(loop), config.ifaces),
@@ -473,6 +733,8 @@ double AcceleratorModel::dmaCyclesPerEntry(
 
 void AcceleratorModel::estimate(AcceleratorConfig& config) const {
   CAYMAN_ASSERT(config.region != nullptr, "config without region");
+  estimateCalls_.fetch_add(1, std::memory_order_relaxed);
+  support::trace::count("model.estimate_calls", 1);
   Estimate e = estimateRegion(config.region, config, 1);
   double entries = static_cast<double>(profile_.entries(config.region));
   config.cycles = e.cycles + entries * dmaCyclesPerEntry(config);

@@ -4,15 +4,32 @@
 // configuration's cycle count and area without synthesizing full hardware.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "accel/config.h"
+#include "analysis/roofline.h"
 #include "hls/scheduler.h"
 #include "sim/profiler.h"
+#include "support/cancellation.h"
 
 namespace cayman::accel {
+
+/// How generate() explores the per-region design space.
+///
+///   Reference — exhaustive enumeration: one config per unroll-ladder point
+///     (the quality oracle; PR 5's SelectMode::Reference pattern).
+///   Guided — roofline-directed: structurally identical ladder points are
+///     deduped before estimation, memory-bound regions clamp the ladder at
+///     the computed bandwidth-saturating factor, and compute-bound regions
+///     stop walking once a step scores worse. Must reproduce Reference's
+///     per-region Pareto fronts exactly (enforced by differential tests).
+enum class GenerateMode {
+  Guided,
+  Reference,
+};
 
 struct ModelParams {
   /// Target clock (2 ns = the paper's 500 MHz).
@@ -33,6 +50,14 @@ struct ModelParams {
   bool allowUnrolling = true;
   /// Substituted trip count when neither SCEV nor the profile knows one.
   uint64_t unknownTripFallback = 16;
+  /// Design-space exploration strategy for generate().
+  GenerateMode generateMode = GenerateMode::Guided;
+  /// Cooperative cancellation: polled between candidate estimations so a
+  /// pathological region cannot overshoot a per-workload deadline. Not owned.
+  const support::CancelToken* cancel = nullptr;
+  /// Test hook: microseconds slept per generateUncached() call (deadline
+  /// tests force slowness here the way CAYMAN_INJECT_FAULT forces failures).
+  unsigned injectGenerateStallUs = 0;
 };
 
 /// Per-function analysis bundle the model consumes.
@@ -83,6 +108,23 @@ class AcceleratorModel {
   /// innermost, straight-line single body block.
   bool isPipelineable(const analysis::Region* loopRegion) const;
 
+  /// Roofline/bottleneck analysis backing GenerateMode::Guided (lazily
+  /// built on first use; memoized per region).
+  const analysis::RooflineAnalysis& roofline() const;
+
+  /// Number of estimate() invocations on this model (both modes count at
+  /// the same point: every scored candidate costs exactly one call).
+  uint64_t estimateCalls() const {
+    return estimateCalls_.load(std::memory_order_relaxed);
+  }
+  /// Number of candidate configs produced by generateUncached() across all
+  /// regions (post-dedup, i.e. the lists the selector actually sees).
+  uint64_t candidatesTotal() const {
+    return candidatesTotal_.load(std::memory_order_relaxed);
+  }
+  /// scheduleBlock() invocations made on this model's scheduler.
+  uint64_t scheduleBlockCalls() const { return scheduler_.blockCalls(); }
+
  private:
   struct Estimate {
     double cycles = 0.0;  ///< whole-run cycles
@@ -93,6 +135,25 @@ class AcceleratorModel {
 
   std::vector<AcceleratorConfig> generateUncached(
       const analysis::Region* region) const;
+  std::vector<AcceleratorConfig> generateReference(
+      const analysis::Region* region) const;
+  std::vector<AcceleratorConfig> generateGuided(
+      const analysis::Region* region) const;
+  /// The unroll-sensitive part of a config's estimated cycles: for every
+  /// pipelined loop in `region`, entries * ((iterations-1)*II +
+  /// reduction-tree cycles), computed from the scheduler's MII bounds
+  /// exactly as estimateRegion() would. Used by the guided engine to admit
+  /// ladder points without estimating them.
+  double iiTreeTerm(const analysis::Region* region,
+                    const std::vector<LoopConfig>& loops,
+                    const hls::IfaceAssignment& ifaces) const;
+  /// scheduleBlock with guided-mode memoization: identical
+  /// (block, interface-restriction, width) requests are scheduled once.
+  /// Reference mode calls the scheduler directly so its call counts reflect
+  /// the full enumeration.
+  hls::BlockSchedule scheduleBlockCached(const ir::BasicBlock& block,
+                                         const hls::IfaceAssignment& ifaces,
+                                         unsigned unroll) const;
   Estimate estimateRegion(const analysis::Region* region,
                           const AcceleratorConfig& config,
                           unsigned unrollContext) const;
@@ -114,6 +175,25 @@ class AcceleratorModel {
   hls::Scheduler scheduler_;
   ModelParams params_;
   std::map<const ir::Function*, std::unique_ptr<KernelAnalyses>> analyses_;
+  mutable std::atomic<uint64_t> estimateCalls_{0};
+  mutable std::atomic<uint64_t> candidatesTotal_{0};
+
+  /// Lazily-built roofline analysis (guided mode only). Guarded by
+  /// rooflineMutex_ for concurrent generate() callers.
+  mutable std::mutex rooflineMutex_;
+  mutable std::unique_ptr<analysis::RooflineAnalysis> roofline_;
+
+  /// Guided-mode schedule memoization: per (block, width), the interface
+  /// signatures (AccessIface per memory access in program order) already
+  /// scheduled and their results.
+  struct SchedCacheEntry {
+    std::vector<hls::AccessIface> signature;
+    hls::BlockSchedule schedule;
+  };
+  mutable std::mutex schedCacheMutex_;
+  mutable std::map<std::pair<const ir::BasicBlock*, unsigned>,
+                   std::vector<SchedCacheEntry>>
+      schedCache_;
 
   /// generate() memoization. unordered_map node references survive rehashes,
   /// so cached lists can be handed out by reference while other regions are

@@ -15,19 +15,25 @@ hls::InterfaceTiming QsCoresFlow::scanChainTiming() {
   return timing;
 }
 
-accel::ModelParams QsCoresFlow::restrictedParams() {
+accel::ModelParams QsCoresFlow::restrictedParams(
+    accel::GenerateMode mode, const support::CancelToken* cancel) {
   accel::ModelParams params;
   params.allowDecoupled = false;
   params.allowScratchpad = false;
   params.allowPipelining = false;
   params.allowUnrolling = false;
+  params.generateMode = mode;
+  params.cancel = cancel;
   return params;
 }
 
 QsCoresFlow::QsCoresFlow(const analysis::WPst& wpst,
                          const sim::ProfileData& profile,
-                         const hls::TechLibrary& tech)
-    : model_(wpst, profile, tech, scanChainTiming(), restrictedParams()) {}
+                         const hls::TechLibrary& tech,
+                         accel::GenerateMode mode,
+                         const support::CancelToken* cancel)
+    : model_(wpst, profile, tech, scanChainTiming(),
+             restrictedParams(mode, cancel)) {}
 
 std::vector<select::Solution> QsCoresFlow::paretoFront(
     double areaBudgetUm2, double clockRatio,

@@ -13,14 +13,18 @@ namespace cayman::baselines {
 class QsCoresFlow {
  public:
   QsCoresFlow(const analysis::WPst& wpst, const sim::ProfileData& profile,
-              const hls::TechLibrary& tech);
+              const hls::TechLibrary& tech,
+              accel::GenerateMode mode = accel::GenerateMode::Guided,
+              const support::CancelToken* cancel = nullptr);
 
   /// Scan-chain access timing: high latency, one word at a time, the chain
   /// shared by every access.
   static hls::InterfaceTiming scanChainTiming();
 
   /// Model restrictions: sequential control only, coupled-style access only.
-  static accel::ModelParams restrictedParams();
+  static accel::ModelParams restrictedParams(
+      accel::GenerateMode mode = accel::GenerateMode::Guided,
+      const support::CancelToken* cancel = nullptr);
 
   /// Both are safe to call concurrently: selection state is per-call and
   /// the restricted model's generate cache is internally synchronized.

@@ -45,6 +45,25 @@ std::optional<support::Stage> envInjectedFault(const std::string& workload) {
   return support::stageByName(value.substr(colon + 1));
 }
 
+/// Parses CAYMAN_INJECT_SLOW=<workload>:generate:<microseconds> and returns
+/// the per-generate stall iff the entry names this workload. Same test-hook
+/// contract as CAYMAN_INJECT_FAULT: malformed values are ignored.
+unsigned envInjectedStallUs(const std::string& workload) {
+  const char* spec = std::getenv("CAYMAN_INJECT_SLOW");
+  if (spec == nullptr) return 0;
+  std::string value(spec);
+  size_t colon = value.rfind(':');
+  if (colon == std::string::npos) return 0;
+  unsigned micros = 0;
+  try {
+    micros = static_cast<unsigned>(std::stoul(value.substr(colon + 1)));
+  } catch (const std::exception&) {
+    return 0;
+  }
+  if (value.substr(0, colon) != workload + ":generate") return 0;
+  return micros;
+}
+
 }  // namespace
 
 WorkloadEvaluation evaluateWorkload(const std::string& name,
@@ -71,6 +90,9 @@ WorkloadEvaluation evaluateWorkload(const std::string& name,
   FrameworkOptions taskOptions = options;
   if (!taskOptions.failAfterStage.has_value()) {
     taskOptions.failAfterStage = envInjectedFault(info->name);
+  }
+  if (taskOptions.injectGenerateStallUs == 0) {
+    taskOptions.injectGenerateStallUs = envInjectedStallUs(info->name);
   }
   // Per-workload deadline: each task gets its own token so one slow workload
   // cannot consume a shared budget. The token lives on this frame, which

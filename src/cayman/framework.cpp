@@ -69,14 +69,17 @@ Framework::Framework(std::unique_ptr<ir::Module> module,
     params.beta = options_.beta;
     params.allowDecoupled = !options_.coupledOnly;
     params.allowScratchpad = !options_.coupledOnly;
+    params.generateMode = options_.generateMode;
+    params.cancel = options_.cancel;
+    params.injectGenerateStallUs = options_.injectGenerateStallUs;
     model_ = std::make_unique<accel::AcceleratorModel>(
         *wpst_, *profile_, tech_, hls::InterfaceTiming{}, params);
 
     novia_ = std::make_unique<baselines::NoviaFlow>(
         *wpst_, *profile_, tech_, interpreter_->costModel(),
         options_.cpuClockNs);
-    qscores_ =
-        std::make_unique<baselines::QsCoresFlow>(*wpst_, *profile_, tech_);
+    qscores_ = std::make_unique<baselines::QsCoresFlow>(
+        *wpst_, *profile_, tech_, options_.generateMode, options_.cancel);
   });
 }
 

@@ -40,6 +40,14 @@ struct FrameworkOptions {
   /// baseline's selector). Reference is the slow oracle for differential
   /// testing; both produce bit-identical evaluations.
   select::SelectMode selectMode = select::SelectMode::Frontier;
+  /// Which candidate-generation engine the accelerator model runs (also
+  /// forwarded to the QsCores baseline's model). Reference is the exhaustive
+  /// oracle for differential testing; both produce bit-identical fronts.
+  accel::GenerateMode generateMode = accel::GenerateMode::Guided;
+  /// Test hook forwarded to the model: microseconds slept per candidate
+  /// generation, so deadline tests can force a slow select stage. The driver
+  /// also honours env CAYMAN_INJECT_SLOW=<workload>:generate:<us>.
+  unsigned injectGenerateStallUs = 0;
 
   /// Per-workload wall-clock deadline in seconds (<= 0 disables). Policy
   /// knob only: the driver converts it into a CancelToken deadline; the

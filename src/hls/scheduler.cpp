@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/trace.h"
+
 namespace cayman::hls {
 
 namespace {
@@ -48,6 +50,8 @@ BlockSchedule Scheduler::scheduleBlock(const ir::BasicBlock& block,
                                        const IfaceAssignment& ifaces,
                                        unsigned unroll) const {
   CAYMAN_ASSERT(unroll >= 1, "unroll factor must be >= 1");
+  blockCalls_.fetch_add(1, std::memory_order_relaxed);
+  support::trace::count("sched.block_calls", 1);
   BlockSchedule result;
 
   // Schedulable nodes: everything but phis (register selects, free) and the

@@ -2,6 +2,7 @@
 // interface-aware memory-port resources, plus pipelining MII bounds.
 #pragma once
 
+#include <atomic>
 #include <span>
 
 #include "analysis/memdep.h"
@@ -55,6 +56,12 @@ class Scheduler {
   static uint64_t pipelinedCycles(uint64_t iterations, unsigned depth,
                                   unsigned ii);
 
+  /// Number of scheduleBlock() invocations on this scheduler (the expensive
+  /// list-scheduling core; resMII/recMII scans are not counted).
+  uint64_t blockCalls() const {
+    return blockCalls_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Resource key for scratchpad banking (per backing array).
   static const void* bankKey(const AccessIface& iface,
@@ -63,6 +70,7 @@ class Scheduler {
   const TechLibrary& tech_;
   InterfaceTiming timing_;
   double clockNs_;
+  mutable std::atomic<uint64_t> blockCalls_{0};
 };
 
 }  // namespace cayman::hls

@@ -89,6 +89,41 @@ TEST(DriverFailureTest, UnknownWorkloadIsAFailureRowNotACrash) {
   EXPECT_EQ(evaluation.name, "no-such-kernel");
 }
 
+TEST(DriverFailureTest, SlowCandidateGenerationTripsTheDeadline) {
+  FrameworkOptions options;
+  options.timeoutSeconds = 1.0;
+  std::vector<WorkloadEvaluation> clean =
+      evaluateWorkloads(kNames, kBudget, 1, options);
+  ASSERT_EQ(countFailures(clean), 0u);
+
+  // Force each candidate generation in bicg to stall 0.4s (the
+  // CAYMAN_INJECT_FAULT-style env hook): the selector pre-pass generates one
+  // region per poll, so the per-workload deadline must trip inside generate
+  // — the checkpoint added for exactly this — while siblings stay clean.
+  ASSERT_EQ(setenv("CAYMAN_INJECT_SLOW", "bicg:generate:400000", 1), 0);
+  std::vector<WorkloadEvaluation> stalled =
+      evaluateWorkloads(kNames, kBudget, 2, options);
+  ASSERT_EQ(unsetenv("CAYMAN_INJECT_SLOW"), 0);
+
+  ASSERT_EQ(stalled.size(), clean.size());
+  EXPECT_EQ(countFailures(stalled), 1u);
+  for (size_t i = 0; i < stalled.size(); ++i) {
+    if (clean[i].name == "bicg") {
+      ASSERT_FALSE(stalled[i].ok());
+      EXPECT_EQ(stalled[i].failure->stage, Stage::Select);
+      EXPECT_NE(stalled[i].failure->message.find("timeout"),
+                std::string::npos);
+      EXPECT_NE(formatEvaluationLine(stalled[i]).find("FAILED select:"),
+                std::string::npos);
+    } else {
+      ASSERT_TRUE(stalled[i].ok());
+      EXPECT_EQ(formatEvaluationLine(stalled[i]),
+                formatEvaluationLine(clean[i]))
+          << clean[i].name;
+    }
+  }
+}
+
 TEST(DriverFailureTest, TimeoutSurfacesAsCancellation) {
   FrameworkOptions options;
   // Effectively-zero deadline: the first cancellation checkpoint must trip.

@@ -1,0 +1,185 @@
+// Property and integration tests for the roofline classifier behind
+// GenerateMode::Guided: known intensities map to known labels, labels are
+// invariant under uniform profile scaling (intensity is a per-entry ratio),
+// the bandwidth-saturating unroll factor is monotone in bytes-per-iteration,
+// and the full analysis produces self-consistent, memoized classifications
+// on real kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/roofline.h"
+#include "sim/interpreter.h"
+#include "test_kernels.h"
+
+namespace cayman::analysis {
+namespace {
+
+using RA = RooflineAnalysis;
+
+/// Module -> profiled wPST -> RooflineAnalysis, mirroring what the
+/// accelerator model builds lazily.
+struct Fixture {
+  explicit Fixture(std::unique_ptr<ir::Module> m)
+      : module(std::move(m)),
+        wpst(*module),
+        interp(*module),
+        run(interp.run()),
+        profile(wpst, run, interp.costModel()),
+        tech(hls::TechLibrary::nangate45()),
+        roofline(wpst, profile, tech, hls::InterfaceTiming{}, 2.0) {}
+
+  std::unique_ptr<ir::Module> module;
+  WPst wpst;
+  sim::Interpreter interp;
+  sim::Interpreter::Result run;
+  sim::ProfileData profile;
+  hls::TechLibrary tech;
+  RooflineAnalysis roofline;
+};
+
+const Region* loopRegionByHeader(const WPst& wpst, const char* header) {
+  for (const Region* r : wpst.allRegions()) {
+    if (r->kind() == RegionKind::Loop && r->block()->name() == header) {
+      return r;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// classifyIntensity: known intensities -> expected labels.
+// ---------------------------------------------------------------------------
+
+TEST(RooflineTest, KnownIntensitiesClassify) {
+  const double balance = 0.125;  // 1 op/cycle over 8 bytes/cycle
+  // At or below half the balance: memory-bound.
+  EXPECT_EQ(RA::classifyIntensity(0.0, balance), Bottleneck::MemoryBound);
+  EXPECT_EQ(RA::classifyIntensity(0.03125, balance), Bottleneck::MemoryBound);
+  EXPECT_EQ(RA::classifyIntensity(0.0625, balance), Bottleneck::MemoryBound);
+  // Within the 2x hysteresis band: balanced.
+  EXPECT_EQ(RA::classifyIntensity(0.0626, balance), Bottleneck::Balanced);
+  EXPECT_EQ(RA::classifyIntensity(0.125, balance), Bottleneck::Balanced);
+  EXPECT_EQ(RA::classifyIntensity(0.2499, balance), Bottleneck::Balanced);
+  // At or above twice the balance: compute-bound.
+  EXPECT_EQ(RA::classifyIntensity(0.25, balance), Bottleneck::ComputeBound);
+  EXPECT_EQ(RA::classifyIntensity(64.0, balance), Bottleneck::ComputeBound);
+  EXPECT_EQ(RA::classifyIntensity(std::numeric_limits<double>::infinity(),
+                                  balance),
+            Bottleneck::ComputeBound);
+}
+
+// ---------------------------------------------------------------------------
+// Label invariance under profile scaling: running the same kernel K times
+// longer multiplies per-entry op and byte counts alike, so the intensity
+// ratio — and with it the label — cannot move. Power-of-two scales keep the
+// float division exact, so the equality is bit-exact, not approximate.
+// ---------------------------------------------------------------------------
+
+struct Lcg {
+  uint64_t state;
+  explicit Lcg(uint64_t seed) : state(seed) {}
+  uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  }
+};
+
+TEST(RooflineTest, LabelInvariantUnderProfileScaling) {
+  Lcg rng(20260808);
+  const double scales[] = {2.0, 4.0, 0.5, 0.25, 1024.0};
+  for (int trial = 0; trial < 200; ++trial) {
+    double ops = static_cast<double>(rng.next() % 10000 + 1);
+    double bytes = static_cast<double>(rng.next() % 10000 + 1);
+    double balance = 1.0 / static_cast<double>(rng.next() % 64 + 1);
+    Bottleneck base = RA::classifyIntensity(ops / bytes, balance);
+    for (double s : scales) {
+      EXPECT_EQ(RA::classifyIntensity((s * ops) / (s * bytes), balance), base)
+          << "ops " << ops << " bytes " << bytes << " scale " << s;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// saturatingUnroll: monotone non-increasing in bytes-per-iteration, clamped
+// to [1, kUnboundedUnroll], unbounded without memory traffic.
+// ---------------------------------------------------------------------------
+
+TEST(RooflineTest, SaturatingUnrollMonotoneInBytesPerIteration) {
+  const double bw = 8.0;
+  for (unsigned recMii : {1u, 2u, 8u, 64u}) {
+    unsigned prev = RA::kUnboundedUnroll;
+    EXPECT_EQ(RA::saturatingUnroll(recMii, 0.0, bw), RA::kUnboundedUnroll);
+    for (double bytes = 0.5; bytes <= 4096.0; bytes *= 2.0) {
+      unsigned u = RA::saturatingUnroll(recMii, bytes, bw);
+      EXPECT_LE(u, prev) << "recMii " << recMii << " bytes " << bytes;
+      EXPECT_GE(u, 1u);
+      prev = u;
+    }
+    // Gigantic per-iteration traffic pins the factor at 1.
+    EXPECT_EQ(RA::saturatingUnroll(recMii, 1e12, bw), 1u);
+  }
+  // Exact interior value: II floor from bandwidth is u*bytes/BW, so with
+  // recMII 8, 16 B/iter and 8 B/cycle the roofs cross at u = 4.
+  EXPECT_EQ(RA::saturatingUnroll(8, 16.0, 8.0), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Full analysis on real kernels: self-consistency and the MII label.
+// ---------------------------------------------------------------------------
+
+TEST(RooflineTest, ClassificationsAreSelfConsistentAndMemoized) {
+  Fixture f(testing::dotRowsKernel());
+  for (const Region* region : f.wpst.allRegions()) {
+    const RegionRoofline& r = f.roofline.classify(region);
+    EXPECT_GT(r.machineBalance, 0.0);
+    if (!region->isCandidate()) continue;
+    EXPECT_GE(r.opsPerEntry, 0.0);
+    EXPECT_GE(r.flopsPerEntry, 0.0);
+    EXPECT_LE(r.flopsPerEntry, r.opsPerEntry);
+    if (r.bytesPerEntry > 0.0) {
+      EXPECT_DOUBLE_EQ(r.intensity, r.opsPerEntry / r.bytesPerEntry);
+    } else {
+      EXPECT_TRUE(std::isinf(r.intensity));
+    }
+    EXPECT_EQ(r.bottleneck,
+              RA::classifyIntensity(r.intensity, r.machineBalance));
+    EXPECT_GE(r.saturatingUnroll, 1u);
+    // Memoized: classify returns the same object, bit for bit.
+    const RegionRoofline& again = f.roofline.classify(region);
+    EXPECT_EQ(&again, &r);
+  }
+}
+
+TEST(RooflineTest, RecurrenceLimitedTracksLoopCarriedChains) {
+  // out[i+1] = out[i]*0.5: a genuine cross-iteration chain whose recurrence
+  // MII meets-or-beats the two-access port bound, so the II is
+  // recurrence-pinned.
+  Fixture chain(testing::chainKernel());
+  const Region* carried = loopRegionByHeader(chain.wpst, "i.header");
+  ASSERT_NE(carried, nullptr);
+  EXPECT_TRUE(chain.roofline.classify(carried).recurrenceLimited);
+
+  // z[i] += A[i][j]*B[i][j] issues four memory accesses per iteration, so
+  // the port bound (resMII 4) dominates the short z-chain recurrence: the
+  // loop is port-limited, not recurrence-limited.
+  Fixture dot(testing::dotRowsKernel());
+  const Region* inner = loopRegionByHeader(dot.wpst, "j.header");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_FALSE(dot.roofline.classify(inner).recurrenceLimited);
+
+  // y[i] = 2*x[i] + 1: dependence-free streaming loop; the II is limited by
+  // ports, not a recurrence.
+  Fixture stream(testing::linearKernel());
+  const Region* loop = loopRegionByHeader(stream.wpst, "i.header");
+  ASSERT_NE(loop, nullptr);
+  const RegionRoofline& r = stream.roofline.classify(loop);
+  EXPECT_FALSE(r.recurrenceLimited);
+  // 16 bytes per iteration against an 8 B/cycle ceiling with recMII 1:
+  // bandwidth saturates before any widening pays.
+  EXPECT_EQ(r.saturatingUnroll, 1u);
+}
+
+}  // namespace
+}  // namespace cayman::analysis

@@ -41,6 +41,7 @@ int usage() {
                "               [--only a,b,..] [--metrics-json FILE]\n"
                "               [--trace-out FILE] [--trace-wall]\n"
                "               [--select-mode frontier|reference]\n"
+               "               [--generate-mode guided|reference]\n"
                "                               evaluate all workloads in "
                "parallel\n"
                "  report <workload> [budget]   print a cayman-metrics-v1 "
@@ -52,6 +53,9 @@ int usage() {
                "--select-mode picks the selector DP engine: 'frontier'\n"
                "(default, fast) or 'reference' (the oracle DP); outputs are\n"
                "byte-identical between the two\n"
+               "--generate-mode picks the model's design-space engine:\n"
+               "'guided' (default, roofline-pruned) or 'reference' (the\n"
+               "exhaustive sweep); selected fronts are byte-identical\n"
                "--metrics-json / --trace-out enable the trace recorder and\n"
                "write a metrics report / Chrome trace-event JSON; both are\n"
                "deterministic (byte-identical across --jobs counts) unless\n"
@@ -218,6 +222,20 @@ int cmdEvaluateAll(int argc, char** argv) {
         std::fprintf(stderr,
                      "error: invalid --select-mode '%s' — expected "
                      "'frontier' or 'reference'\n",
+                     mode.c_str());
+        return 2;
+      }
+    } else if (arg == "--generate-mode") {
+      if (i + 1 >= argc) return usage();
+      std::string mode = argv[++i];
+      if (mode == "guided") {
+        options.generateMode = accel::GenerateMode::Guided;
+      } else if (mode == "reference") {
+        options.generateMode = accel::GenerateMode::Reference;
+      } else {
+        std::fprintf(stderr,
+                     "error: invalid --generate-mode '%s' — expected "
+                     "'guided' or 'reference'\n",
                      mode.c_str());
         return 2;
       }

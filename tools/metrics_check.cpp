@@ -130,6 +130,17 @@ void checkWorkload(const Value& entry, size_t position) {
           fail(where, "counter '" + name + "' is not a non-negative integer");
         }
       }
+      // Model design-space counters are internally consistent: every
+      // candidate the model hands the selector was estimated exactly once,
+      // so estimates can only exceed candidates (duplicates estimated then
+      // deduped), never trail them.
+      const Value* estimates = counters->find("model.estimate_calls");
+      const Value* candidates = counters->find("model.candidates_total");
+      if (estimates != nullptr && candidates != nullptr &&
+          estimates->isInt() && candidates->isInt() &&
+          estimates->intValue() < candidates->intValue()) {
+        fail(where, "model.estimate_calls < model.candidates_total");
+      }
     }
   }
   // Wall-mode extras: stage durations must be non-negative and sum to no
