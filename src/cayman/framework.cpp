@@ -108,7 +108,7 @@ select::Solution Framework::best(double budgetRatio) const {
 
 merge::MergeResult Framework::mergeSolution(
     const select::Solution& solution) const {
-  merge::AcceleratorMerger merger(tech_);
+  merge::AcceleratorMerger merger(tech_, options_.mergeMode);
   return merger.run(solution);
 }
 

@@ -44,6 +44,10 @@ struct FrameworkOptions {
   /// forwarded to the QsCores baseline's model). Reference is the exhaustive
   /// oracle for differential testing; both produce bit-identical fronts.
   accel::GenerateMode generateMode = accel::GenerateMode::Guided;
+  /// Which matching engine contracts the merge compatibility graph.
+  /// Reference is the bug-fixed seed greedy kept as the differential oracle;
+  /// both produce value-identical MergeResults.
+  merge::MergeMode mergeMode = merge::MergeMode::Graph;
   /// Test hook forwarded to the model: microseconds slept per candidate
   /// generation, so deadline tests can force a slow select stage. The driver
   /// also honours env CAYMAN_INJECT_SLOW=<workload>:generate:<us>.

@@ -1,169 +1,63 @@
 #include "merge/merger.h"
 
-#include <algorithm>
-#include <functional>
-#include <numeric>
+#include <map>
 
 #include "support/trace.h"
 
 namespace cayman::merge {
 
-namespace {
-
-using OpClass = std::pair<ir::Opcode, bool>;  // opcode, wide (>= 64 bit)
-using OpCounts = std::map<OpClass, unsigned>;
-
-/// A mergeable datapath unit: the operator multiset of one basic block
-/// (times its unroll replication), tagged with its owning accelerator.
-struct Unit {
-  OpCounts ops;
-  size_t acceleratorIndex = 0;
-  bool alive = true;
-};
-
-const ir::Type* typeForArea(const ir::Instruction& inst) {
-  // Stores are void-typed; their datapath width is the stored value's.
-  if (inst.opcode() == ir::Opcode::Store) return inst.operand(0)->type();
-  return inst.type();
-}
-
-unsigned unrollOf(const accel::AcceleratorConfig& config,
-                  const ir::BasicBlock* block,
-                  const analysis::Region* region) {
-  (void)region;
-  // The block replicates per the unroll factor of its innermost configured
-  // loop (conservatively 1 when it is not inside a configured loop).
-  for (const accel::LoopConfig& lc : config.loops) {
-    if (lc.loop != nullptr && lc.loop->contains(block)) {
-      return std::max(1u, lc.unroll);
-    }
-  }
-  return 1;
-}
-
-std::vector<Unit> extractUnits(const select::Solution& solution) {
-  std::vector<Unit> units;
-  for (size_t a = 0; a < solution.accelerators.size(); ++a) {
-    const accel::AcceleratorConfig& config = solution.accelerators[a];
-    for (const ir::BasicBlock* block : config.region->blocks()) {
-      Unit unit;
-      unit.acceleratorIndex = a;
-      unsigned unroll = unrollOf(config, block, config.region);
-      for (const auto& inst : block->instructions()) {
-        if (inst->opcode() == ir::Opcode::Phi || inst->isTerminator()) {
-          continue;
-        }
-        const ir::Type* type = typeForArea(*inst);
-        unit.ops[{inst->opcode(), type->bitWidth() >= 64}] += unroll;
-      }
-      if (!unit.ops.empty()) units.push_back(std::move(unit));
-    }
-  }
-  return units;
-}
-
-unsigned operandCount(ir::Opcode op) {
-  switch (op) {
-    case ir::Opcode::FNeg: case ir::Opcode::FSqrt: case ir::Opcode::FAbs:
-    case ir::Opcode::ZExt: case ir::Opcode::SExt: case ir::Opcode::Trunc:
-    case ir::Opcode::SIToFP: case ir::Opcode::FPToSI: case ir::Opcode::Load:
-      return 1;
-    case ir::Opcode::Select:
-      return 3;
-    default:
-      return 2;
-  }
-}
-
-}  // namespace
-
 double AcceleratorMerger::pairSaving(const OpCounts& a,
                                      const OpCounts& b) const {
-  double saving = 0.0;
-  for (const auto& [opClass, countA] : a) {
-    auto it = b.find(opClass);
-    if (it == b.end()) continue;
-    unsigned shared = std::min(countA, it->second);
-    const ir::Type* type =
-        opClass.second ? ir::Type::i64() : ir::Type::i32();
-    double opArea = tech_.opInfo(opClass.first, type).areaUm2;
-    unsigned bits = opClass.second ? 64 : 32;
-    // Each shared operator needs a 2:1 mux per operand input plus
-    // reconfiguration bits selecting the active kernel.
-    double muxCost = operandCount(opClass.first) *
-                         (2.0 * bits * tech_.muxAreaPerInputBit) +
-                     2.0 * tech_.configBitArea;
-    // Not-worth-sharing op classes contribute nothing: a merger would keep
-    // separate instances rather than pay more mux area than the operator is
-    // worth, so a cheap-op-dominated pair must never drag the total saving
-    // below what its expensive ops alone justify.
-    saving += shared * std::max(0.0, opArea - muxCost);
-  }
-  return saving;
+  Unit unitA;
+  unitA.ops = a;
+  Unit unitB;
+  unitB.ops = b;
+  unitB.acceleratorIndex = 1;
+  return unitPairSaving(tech_, unitA, unitB);
 }
 
 MergeResult AcceleratorMerger::run(const select::Solution& solution) const {
   MergeResult result;
   result.areaBeforeUm2 = solution.areaUm2;
   result.areaAfterUm2 = solution.areaUm2;
-  if (solution.accelerators.size() < 1) return result;
+  // Merging is strictly cross-accelerator: a single-accelerator solution
+  // has nobody to share with, so skip unit extraction entirely.
+  if (solution.accelerators.size() < 2) return result;
 
   support::trace::Span span("merge.pairing", "merge");
   std::vector<Unit> units = extractUnits(solution);
+  result.unitsExtracted = units.size();
   support::trace::count("merge.units", units.size());
-  uint64_t pairsEvaluated = 0;
 
-  // Union-find over accelerators to track reusable groups.
-  std::vector<size_t> parent(solution.accelerators.size());
-  std::iota(parent.begin(), parent.end(), size_t{0});
-  std::function<size_t(size_t)> find = [&](size_t x) {
-    return parent[x] == x ? x : parent[x] = find(parent[x]);
-  };
-
-  double totalSaving = 0.0;
-  while (true) {
-    double bestSaving = 0.0;
-    size_t bestI = 0, bestJ = 0;
-    for (size_t i = 0; i < units.size(); ++i) {
-      if (!units[i].alive) continue;
-      for (size_t j = i + 1; j < units.size(); ++j) {
-        if (!units[j].alive) continue;
-        // Merging shares datapaths across accelerators (paper §III-E);
-        // two units of the same accelerator are one datapath already and
-        // pairing them would book intra-accelerator sharing as reuse.
-        if (units[i].acceleratorIndex == units[j].acceleratorIndex) continue;
-        ++pairsEvaluated;
-        double saving = pairSaving(units[i].ops, units[j].ops);
-        if (saving > bestSaving) {
-          bestSaving = saving;
-          bestI = i;
-          bestJ = j;
-        }
+  // The initial compatibility scan considers every cross-accelerator unit
+  // pair in both engines; counting it here (instead of inside an engine)
+  // keeps the exported metrics byte-identical across MergeMode and --jobs.
+  for (size_t i = 0; i < units.size(); ++i) {
+    for (size_t j = i + 1; j < units.size(); ++j) {
+      if (units[i].acceleratorIndex != units[j].acceleratorIndex) {
+        ++result.pairsEvaluated;
       }
     }
-    if (bestSaving <= 0.0) break;
-    support::trace::count("merge.steps", 1);
-
-    // Merge j into i: the reconfigurable unit carries the op maximum.
-    Unit& into = units[bestI];
-    Unit& from = units[bestJ];
-    for (const auto& [opClass, count] : from.ops) {
-      into.ops[opClass] = std::max(into.ops[opClass], count);
-    }
-    from.alive = false;
-    parent[find(from.acceleratorIndex)] = find(into.acceleratorIndex);
-    totalSaving += bestSaving;
-    ++result.mergeSteps;
   }
+  support::trace::count("merge.pairs_evaluated", result.pairsEvaluated);
 
-  support::trace::count("merge.pairs_evaluated", pairsEvaluated);
+  UnionFind groups(solution.accelerators.size());
+  MatchStats stats;
+  double totalSaving =
+      mode_ == MergeMode::Graph
+          ? matchUnitsGraph(units, tech_, groups, stats)
+          : matchUnitsReference(units, tech_, groups, stats);
+  result.mergeSteps = stats.steps;
+  result.pairsScored = stats.pairsScored;
+  support::trace::count("merge.steps",
+                        static_cast<uint64_t>(stats.steps));
   result.areaAfterUm2 = solution.areaUm2 - totalSaving;
 
   // A merged group additionally pays for one global Ctrl unit (paper Fig. 5)
   // but drops the per-accelerator wrapper of all but one member.
   std::map<size_t, int> groupSizes;
   for (size_t a = 0; a < solution.accelerators.size(); ++a) {
-    ++groupSizes[find(a)];
+    ++groupSizes[groups.find(a)];
   }
   int reusable = 0;
   int kernelsInReusable = 0;
@@ -176,6 +70,7 @@ MergeResult AcceleratorMerger::run(const select::Solution& solution) const {
       result.areaAfterUm2 -= tech_.acceleratorWrapperArea * (size - 1);
     }
   }
+  support::trace::count("merge.groups", static_cast<uint64_t>(reusable));
   result.reusableAccelerators = reusable;
   result.avgKernelsPerReusable =
       reusable == 0 ? 0.0

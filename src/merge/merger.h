@@ -4,21 +4,45 @@
 // get multiplexed inputs plus reconfiguration bits.
 #pragma once
 
-#include "hls/tech_library.h"
-#include "select/solution.h"
+#include "merge/graph.h"
 
 namespace cayman::merge {
+
+/// Which matching engine contracts the compatibility graph. Both produce
+/// value-identical MergeResults (a property the differential tests pin over
+/// all 28 workloads); Graph is strictly faster.
+enum class MergeMode {
+  /// Lazy-deletion edge-heap matching over union-find groups (default):
+  /// every cross-accelerator pair is scored once, merges rescore only the
+  /// surviving unit's edges. See merge/graph.h.
+  Graph,
+  /// The bug-fixed seed-era greedy, rescoring every cross-group pair per
+  /// round. Kept in-tree as the differential oracle (the same role
+  /// SelectMode::Reference plays for the selector DP).
+  Reference,
+};
 
 /// Outcome of merging one solution's accelerators.
 struct MergeResult {
   double areaBeforeUm2 = 0.0;
   double areaAfterUm2 = 0.0;
-  /// Number of pairwise merge steps performed.
+  /// Number of pairwise merge steps performed. Every step unions two
+  /// distinct accelerator groups, so this never exceeds accelerators - 1.
   int mergeSteps = 0;
   /// Reusable accelerators produced (groups of >= 2 original kernels).
   int reusableAccelerators = 0;
   /// Average original kernels per reusable accelerator.
   double avgKernelsPerReusable = 0.0;
+  /// Datapath units extracted (0 when the solution has < 2 accelerators —
+  /// merging is strictly cross-accelerator, so nothing is even extracted).
+  size_t unitsExtracted = 0;
+  /// Cross-accelerator unit pairs in the initial compatibility scan.
+  /// Mode-independent by construction (and the `merge.pairs_evaluated`
+  /// trace counter, so exported metrics agree across MergeMode).
+  uint64_t pairsEvaluated = 0;
+  /// pairSaving evaluations the engine actually performed. Mode-DEPENDENT
+  /// work measure for benches; deliberately never exported as a counter.
+  uint64_t pairsScored = 0;
 
   double savingPercent() const {
     if (areaBeforeUm2 <= 0.0) return 0.0;
@@ -28,22 +52,28 @@ struct MergeResult {
 
 class AcceleratorMerger {
  public:
-  explicit AcceleratorMerger(const hls::TechLibrary& tech) : tech_(tech) {}
+  explicit AcceleratorMerger(const hls::TechLibrary& tech,
+                             MergeMode mode = MergeMode::Graph)
+      : tech_(tech), mode_(mode) {}
 
-  /// Greedy merging: repeatedly merge the basic-block pair with the maximum
-  /// estimated area saving until no positive saving remains. Execution time
-  /// is unaffected — kernels are offloaded one at a time, so a shared
-  /// datapath never serializes anything that ran in parallel before.
+  /// Contracts the compatibility graph: repeatedly merge the cross-group
+  /// unit pair with the maximum positive net saving until none remains.
+  /// Execution time is unaffected — kernels are offloaded one at a time, so
+  /// a shared datapath never serializes anything that ran in parallel
+  /// before.
   MergeResult run(const select::Solution& solution) const;
 
-  /// Estimated net area saving of merging two op multisets (shared operator
-  /// area minus multiplexer / config-bit overhead). Exposed for tests.
-  double pairSaving(const std::map<std::pair<ir::Opcode, bool>, unsigned>& a,
-                    const std::map<std::pair<ir::Opcode, bool>, unsigned>& b)
-      const;
+  /// Estimated net area saving of merging two fresh (fan-in 1) op multisets
+  /// (shared operator area minus multiplexer / config-bit overhead).
+  /// Exposed for tests; chained merges use the fan-in-aware
+  /// merge::unitPairSaving.
+  double pairSaving(const OpCounts& a, const OpCounts& b) const;
+
+  MergeMode mode() const { return mode_; }
 
  private:
   const hls::TechLibrary& tech_;
+  MergeMode mode_;
 };
 
 }  // namespace cayman::merge

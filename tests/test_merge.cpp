@@ -98,13 +98,15 @@ struct MergePipeline {
 TEST(MergerTest, IdenticalKernelsMergeHeavily) {
   // 3mm has three identical matmul nests — the paper's showcase (74% / 70%
   // saving). Expect a large saving and one reusable accelerator covering
-  // multiple kernels.
+  // multiple kernels. (The threshold accounts for fan-in-aware mux costs:
+  // chaining the third nest onto the shared datapath pays for 3:1 selects,
+  // so the honest figure is a few points below the old flat-cost booking.)
   MergePipeline p(workloads::build("3mm"));
   select::Solution best = p.best(5e5);
   ASSERT_GE(best.accelerators.size(), 2u);
   AcceleratorMerger merger(p.tech);
   MergeResult result = merger.run(best);
-  EXPECT_GT(result.savingPercent(), 30.0);
+  EXPECT_GT(result.savingPercent(), 25.0);
   EXPECT_GE(result.reusableAccelerators, 1);
   EXPECT_GE(result.avgKernelsPerReusable, 2.0);
   EXPECT_LT(result.areaAfterUm2, result.areaBeforeUm2);
@@ -186,6 +188,197 @@ TEST(MergerTest, SingleAcceleratorReportsZeroMergeSteps) {
   EXPECT_GE(merged.mergeSteps, 1);
   EXPECT_EQ(merged.reusableAccelerators, 1);
   EXPECT_LT(merged.areaAfterUm2, merged.areaBeforeUm2);
+}
+
+TEST(PairSavingTest, ChainedMergeChargesIncrementalMux) {
+  // Regression (fan-in-aware mux cost): the seed charged a flat 2:1 mux plus
+  // two config bits per shared operator no matter how many kernels a unit
+  // already served, so the k-th merge of a chain was booked as cheaply as
+  // the first. The k-th merge needs (k+1):1 muxing — wider selects, more
+  // config bits — so chained savings must shrink strictly.
+  hls::TechLibrary tech = hls::TechLibrary::nangate45();
+  Unit a, b, c;
+  a.ops[{ir::Opcode::FMul, true}] = 1;
+  b.ops = a.ops;
+  c.ops = a.ops;
+  b.acceleratorIndex = 1;
+  c.acceleratorIndex = 2;
+  double s11 = unitPairSaving(tech, a, b);
+  ASSERT_GT(s11, 0.0);
+  Unit merged = a;
+  Unit absorbed = b;
+  absorbUnit(merged, absorbed);
+  ASSERT_EQ(merged.fanIn, 2u);
+  double s21 = unitPairSaving(tech, merged, c);
+  EXPECT_GT(s21, 0.0);
+  EXPECT_LT(s21, s11) << "widening a 2:1 select to 3:1 must cost extra";
+  // A 3-way chain saves strictly less than 3x one pair — and strictly less
+  // than the 2x the flat-cost accounting used to book for it.
+  EXPECT_LT(s11 + s21, 3.0 * s11);
+  EXPECT_LT(s11 + s21, 2.0 * s11);
+}
+
+TEST(PairSavingTest, FreshPairMatchesLegacyFlatCost) {
+  // At fan-in 1 + 1 the incremental model reduces exactly to the old flat
+  // formula (one 2:1 mux per operand bit, two config bits), so single-pair
+  // savings are unchanged by the bugfix.
+  hls::TechLibrary tech = hls::TechLibrary::nangate45();
+  Unit a, b;
+  a.ops[{ir::Opcode::FMul, true}] = 1;
+  b.ops = a.ops;
+  b.acceleratorIndex = 1;
+  double opArea = tech.opInfo(ir::Opcode::FMul, ir::Type::f64()).areaUm2;
+  double flat = opArea - (operandCount(ir::Opcode::FMul) * 2.0 * 64.0 *
+                              tech.muxAreaPerInputBit +
+                          2.0 * tech.configBitArea);
+  EXPECT_DOUBLE_EQ(unitPairSaving(tech, a, b), flat);
+}
+
+TEST(MergerTest, ThreeWayChainBooksIncrementalSavings) {
+  // Three identical one-FMul units on three accelerators chain into one
+  // reconfigurable datapath; the engine must book s(1,1) + s(2,1), not
+  // 2 * s(1,1).
+  hls::TechLibrary tech = hls::TechLibrary::nangate45();
+  std::vector<Unit> units(3);
+  for (size_t i = 0; i < units.size(); ++i) {
+    units[i].ops[{ir::Opcode::FMul, true}] = 1;
+    units[i].acceleratorIndex = i;
+  }
+  double s11 = unitPairSaving(tech, units[0], units[1]);
+  Unit merged = units[0];
+  Unit absorbed = units[1];
+  absorbUnit(merged, absorbed);
+  double s21 = unitPairSaving(tech, merged, units[2]);
+
+  for (MergeMode mode : {MergeMode::Graph, MergeMode::Reference}) {
+    std::vector<Unit> copy = units;
+    UnionFind groups(3);
+    MatchStats stats;
+    double total = mode == MergeMode::Graph
+                       ? matchUnitsGraph(copy, tech, groups, stats)
+                       : matchUnitsReference(copy, tech, groups, stats);
+    EXPECT_EQ(stats.steps, 2) << static_cast<int>(mode);
+    EXPECT_DOUBLE_EQ(total, s11 + s21) << static_cast<int>(mode);
+    EXPECT_LT(total, 2.0 * s11) << static_cast<int>(mode);
+  }
+}
+
+/// Loop A, an outer loop wrapping two FMul loops (one accelerator with two
+/// expensive datapath units), and loop D — the shape that exposed the
+/// raw-index dedup bug.
+std::unique_ptr<ir::Module> threeAcceleratorKernel() {
+  auto module = std::make_unique<ir::Module>("chain3");
+  auto* w = module->addGlobal("w", ir::Type::f64(), 32);
+  auto* x = module->addGlobal("x", ir::Type::f64(), 32);
+  auto* y = module->addGlobal("y", ir::Type::f64(), 32);
+  auto* z = module->addGlobal("z", ir::Type::f64(), 32);
+  workloads::KernelBuilder kb(module.get());
+  kb.beginFunction("main");
+  ir::Value* a = kb.beginLoop(0, 32, "a");
+  kb.storeAt(w, a, kb.ir().fmul(kb.loadAt(x, a), kb.ir().f64(1.5)));
+  kb.endLoop();
+  kb.beginLoop(0, 8, "i");
+  ir::Value* j = kb.beginLoop(0, 32, "j");
+  kb.storeAt(y, j, kb.ir().fmul(kb.loadAt(x, j), kb.ir().f64(2.0)));
+  kb.endLoop();
+  ir::Value* k = kb.beginLoop(0, 32, "k");
+  kb.storeAt(z, k, kb.ir().fmul(kb.loadAt(x, k), kb.ir().f64(3.0)));
+  kb.endLoop();
+  kb.endLoop();
+  ir::Value* d = kb.beginLoop(0, 32, "d");
+  kb.storeAt(x, d, kb.ir().fmul(kb.loadAt(w, d), kb.ir().f64(0.5)));
+  kb.endLoop();
+  kb.endFunction();
+  ir::verifyOrThrow(*module);
+  return module;
+}
+
+TEST(MergerTest, MergeStepsBoundedByAcceleratorCount) {
+  // Regression (group-aware dedup): after accelerator A merged into B, the
+  // seed compared raw accelerator indices, so B's *other* units could still
+  // pair with the merged unit and book intra-group sharing as fresh
+  // cross-kernel saving. Every legitimate step unions two distinct groups,
+  // so a 3-accelerator solution supports at most 2 steps — the pre-fix
+  // greedy books 3 here.
+  MergePipeline p(threeAcceleratorKernel());
+  const analysis::Region* loopA = nullptr;
+  const analysis::Region* outer = nullptr;
+  const analysis::Region* loopD = nullptr;
+  for (const analysis::Region* r : p.wpst.allRegions()) {
+    if (r->kind() != analysis::RegionKind::Loop) continue;
+    if (r->block()->name() == "a.header") loopA = r;
+    if (r->block()->name() == "i.header") outer = r;
+    if (r->block()->name() == "d.header") loopD = r;
+  }
+  ASSERT_NE(loopA, nullptr);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(loopD, nullptr);
+  select::Solution solution = select::Solution::merge(
+      select::Solution::merge(
+          select::Solution::fromConfig(p.model.generate(loopA).back()),
+          select::Solution::fromConfig(p.model.generate(outer).back())),
+      select::Solution::fromConfig(p.model.generate(loopD).back()));
+  ASSERT_EQ(solution.accelerators.size(), 3u);
+
+  MergeResult graph = AcceleratorMerger(p.tech, MergeMode::Graph).run(solution);
+  MergeResult reference =
+      AcceleratorMerger(p.tech, MergeMode::Reference).run(solution);
+  EXPECT_LE(graph.mergeSteps, 2);
+  EXPECT_LE(reference.mergeSteps, 2);
+  EXPECT_GE(graph.mergeSteps, 1);
+  EXPECT_GT(graph.savingPercent(), 0.0);
+  EXPECT_EQ(graph.mergeSteps, reference.mergeSteps);
+  EXPECT_DOUBLE_EQ(graph.areaAfterUm2, reference.areaAfterUm2);
+  EXPECT_EQ(graph.reusableAccelerators, reference.reusableAccelerators);
+}
+
+TEST(UnionFindTest, FindAndUnite) {
+  UnionFind uf(6);
+  EXPECT_EQ(uf.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(uf.find(i), i);
+  uf.unite(0, 1);
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_NE(uf.find(0), uf.find(2));
+  uf.unite(2, 3);
+  uf.unite(1, 3);
+  EXPECT_EQ(uf.find(0), uf.find(2));
+  EXPECT_EQ(uf.find(1), uf.find(3));
+  EXPECT_NE(uf.find(0), uf.find(4));
+}
+
+TEST(UnionFindTest, DeepChainDoesNotOverflowStack) {
+  // Regression (stack safety): the seed used a recursive std::function find;
+  // a population-scale merge chain built a linked list deep enough to blow
+  // the stack. Path halving is iterative and flattens as it walks.
+  constexpr size_t kN = 1u << 20;
+  UnionFind uf(kN);
+  for (size_t i = kN - 1; i > 0; --i) uf.unite(i, i - 1);
+  EXPECT_EQ(uf.find(kN - 1), uf.find(0));
+  size_t root = uf.find(0);
+  for (size_t i = 0; i < kN; i += 4096) EXPECT_EQ(uf.find(i), root);
+}
+
+TEST(MergerTest, SingleAcceleratorSkipsUnitExtraction) {
+  // Regression (degenerate guard): merging is strictly cross-accelerator,
+  // so a single-accelerator solution must not even extract units.
+  MergePipeline p(twinLoopKernel());
+  const analysis::Region* outer = nullptr;
+  for (const analysis::Region* r : p.wpst.allRegions()) {
+    if (r->kind() == analysis::RegionKind::Loop &&
+        r->block()->name() == "i.header") {
+      outer = r;
+    }
+  }
+  ASSERT_NE(outer, nullptr);
+  select::Solution solo =
+      select::Solution::fromConfig(p.model.generate(outer).back());
+  for (MergeMode mode : {MergeMode::Graph, MergeMode::Reference}) {
+    MergeResult result = AcceleratorMerger(p.tech, mode).run(solo);
+    EXPECT_EQ(result.unitsExtracted, 0u);
+    EXPECT_EQ(result.pairsEvaluated, 0u);
+    EXPECT_EQ(result.mergeSteps, 0);
+    EXPECT_DOUBLE_EQ(result.areaAfterUm2, result.areaBeforeUm2);
+  }
 }
 
 TEST(MergerTest, EmptySolutionIsNoop) {

@@ -42,6 +42,7 @@ int usage() {
                "               [--trace-out FILE] [--trace-wall]\n"
                "               [--select-mode frontier|reference]\n"
                "               [--generate-mode guided|reference]\n"
+               "               [--merge-mode graph|reference]\n"
                "                               evaluate all workloads in "
                "parallel\n"
                "  report <workload> [budget]   print a cayman-metrics-v1 "
@@ -56,6 +57,9 @@ int usage() {
                "--generate-mode picks the model's design-space engine:\n"
                "'guided' (default, roofline-pruned) or 'reference' (the\n"
                "exhaustive sweep); selected fronts are byte-identical\n"
+               "--merge-mode picks the merge matching engine: 'graph'\n"
+               "(default, edge-heap matching) or 'reference' (the greedy\n"
+               "oracle); outputs are byte-identical between the two\n"
                "--metrics-json / --trace-out enable the trace recorder and\n"
                "write a metrics report / Chrome trace-event JSON; both are\n"
                "deterministic (byte-identical across --jobs counts) unless\n"
@@ -236,6 +240,20 @@ int cmdEvaluateAll(int argc, char** argv) {
         std::fprintf(stderr,
                      "error: invalid --generate-mode '%s' — expected "
                      "'guided' or 'reference'\n",
+                     mode.c_str());
+        return 2;
+      }
+    } else if (arg == "--merge-mode") {
+      if (i + 1 >= argc) return usage();
+      std::string mode = argv[++i];
+      if (mode == "graph") {
+        options.mergeMode = merge::MergeMode::Graph;
+      } else if (mode == "reference") {
+        options.mergeMode = merge::MergeMode::Reference;
+      } else {
+        std::fprintf(stderr,
+                     "error: invalid --merge-mode '%s' — expected "
+                     "'graph' or 'reference'\n",
                      mode.c_str());
         return 2;
       }

@@ -141,6 +141,30 @@ void checkWorkload(const Value& entry, size_t position) {
           estimates->intValue() < candidates->intValue()) {
         fail(where, "model.estimate_calls < model.candidates_total");
       }
+      // Merge counters are internally consistent: each merge step contracts
+      // one of the initially scanned cross-accelerator pairs, each reusable
+      // group needs at least one step to form, and the cross-accelerator
+      // pair count is bounded by all unit pairs.
+      const Value* mergeUnits = counters->find("merge.units");
+      const Value* mergeSteps = counters->find("merge.steps");
+      const Value* mergePairs = counters->find("merge.pairs_evaluated");
+      const Value* mergeGroups = counters->find("merge.groups");
+      if (mergeSteps != nullptr && mergePairs != nullptr &&
+          mergeSteps->isInt() && mergePairs->isInt() &&
+          mergeSteps->intValue() > mergePairs->intValue()) {
+        fail(where, "merge.steps > merge.pairs_evaluated");
+      }
+      if (mergeGroups != nullptr && mergeSteps != nullptr &&
+          mergeGroups->isInt() && mergeSteps->isInt() &&
+          mergeGroups->intValue() > mergeSteps->intValue()) {
+        fail(where, "merge.groups > merge.steps");
+      }
+      if (mergePairs != nullptr && mergeUnits != nullptr &&
+          mergePairs->isInt() && mergeUnits->isInt() &&
+          mergePairs->intValue() >
+              mergeUnits->intValue() * (mergeUnits->intValue() - 1) / 2) {
+        fail(where, "merge.pairs_evaluated exceeds units*(units-1)/2");
+      }
     }
   }
   // Wall-mode extras: stage durations must be non-negative and sum to no
