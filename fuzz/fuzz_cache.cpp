@@ -1,0 +1,223 @@
+// Fuzz target for the persistent model-cache ingestion path.
+//
+// One input exercises the whole untrusted-snapshot stack:
+//   1. blobio::parseStream under tight fuzz limits (rejections are fine,
+//      crashes are not),
+//   2. rebuild the surviving payloads with buildStream and reparse: the
+//      framing layer must round-trip to a clean fixpoint,
+//   3. for every surviving payload, decodeMeta / decodeRegionRecord; any
+//      accepted record must re-encode byte-identically (the fixpoint
+//      invariant ModelCache::save depends on: decoded raws ARE the save
+//      image),
+//   4. summarizeSnapshot over the raw input must never crash.
+//
+// Build shapes mirror fuzz_parser:
+//   - fuzz_cache        libFuzzer driver (Clang only, -fsanitize=fuzzer).
+//   - fuzz_cache_replay standalone main (any compiler): replays corpus files
+//     under ctest and writes synthesized seeds with --write-seeds.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "accel/model_cache.h"
+#include "support/blobio.h"
+
+namespace {
+
+using namespace cayman;
+
+/// Much tighter than production ModelCacheLimits: the fuzzer probes parsing
+/// logic, not allocator throughput.
+accel::ModelCacheLimits fuzzLimits() {
+  accel::ModelCacheLimits limits;
+  limits.stream.maxFileBytes = 1u << 20;
+  limits.stream.maxRecordBytes = 1u << 16;
+  limits.stream.maxRecords = 1u << 10;
+  limits.maxRegions = 1u << 10;
+  limits.maxConfigsPerRegion = 64;
+  limits.maxLoopsPerConfig = 32;
+  limits.maxIfacesPerConfig = 256;
+  limits.maxSchedEntries = 256;
+  limits.maxSchedStarts = 256;
+  limits.maxStringBytes = 256;
+  return limits;
+}
+
+void require(bool condition, const char* what) {
+  if (condition) return;
+  std::fprintf(stderr, "fuzz invariant violated: %s\n", what);
+  std::abort();
+}
+
+void runOne(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  accel::ModelCacheLimits limits = fuzzLimits();
+
+  support::Expected<support::blobio::ParsedStream> parsed =
+      support::blobio::parseStream(bytes, limits.stream, "fuzz");
+  if (!parsed.ok()) return;
+  const support::blobio::ParsedStream& stream = parsed.value();
+
+  // Framing fixpoint: surviving payloads rebuild into a stream that parses
+  // back clean and equal.
+  std::string rebuilt =
+      support::blobio::buildStream(stream.records, stream.version);
+  support::Expected<support::blobio::ParsedStream> reparsed =
+      support::blobio::parseStream(rebuilt, limits.stream, "fuzz");
+  require(reparsed.ok(), "rebuilt stream failed to parse");
+  require(!reparsed.value().truncated, "rebuilt stream reports truncation");
+  require(reparsed.value().rejectedRecords == 0,
+          "rebuilt stream rejected records");
+  require(reparsed.value().records == stream.records,
+          "rebuilt stream changed the payloads");
+
+  // Payload fixpoint: decode -> encode must reproduce accepted payloads
+  // byte for byte.
+  for (const std::string& payload : stream.records) {
+    support::Expected<accel::RawMeta> meta =
+        accel::decodeMeta(payload, limits, "fuzz");
+    if (meta.ok()) {
+      require(accel::encodeMeta(meta.value()) == payload,
+              "meta decode -> encode is not a fixpoint");
+    }
+    support::Expected<accel::RawRegionRecord> record =
+        accel::decodeRegionRecord(payload, limits, "fuzz");
+    if (record.ok()) {
+      require(accel::encodeRegionRecord(record.value()) == payload,
+              "region decode -> encode is not a fixpoint");
+    }
+  }
+
+  // Whole-file summary walks the same path with duplicate tracking; it must
+  // tolerate anything the stream layer let through.
+  (void)accel::summarizeSnapshot(bytes, limits, "fuzz");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  runOne(data, size);
+  return 0;
+}
+
+#ifdef CAYMAN_FUZZ_STANDALONE
+
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+/// Synthesized seed snapshots covering every record shape (meta, region with
+/// loops/ifaces/schedule insertions) so the fuzzer starts from structurally
+/// valid streams instead of discovering the framing byte by byte.
+int writeSeeds(const std::string& dir) {
+  using support::blobio::buildStream;
+
+  accel::RawMeta meta;
+  meta.schema = accel::kModelCacheSchema;
+  meta.irHash = 0x1234567890abcdefull;
+  meta.fingerprint = 0xfedcba0987654321ull;
+  meta.moduleName = "seed";
+
+  accel::RawRegionRecord region;
+  region.regionId = 3;
+  region.label = "loop i [depth 1]";
+  region.estimateCalls = 5;
+  region.schedBlockCalls = 7;
+  accel::RawConfig config;
+  config.loops.push_back(accel::RawLoopConfig{3, 4, true});
+  accel::RawIfaceEntry entry;
+  entry.blockIdx = 0;
+  entry.instIdx = 2;
+  entry.iface.kind = 2;
+  entry.iface.partitions = 4;
+  entry.iface.hasArray = true;
+  entry.iface.arrayName = "A";
+  entry.iface.footprintBytes = 256;
+  config.ifaces.push_back(entry);
+  config.cyclesBits = 0x4059000000000000ull;  // 100.0
+  config.cpuCyclesBits = 0x40c3880000000000ull;
+  config.areaBits = 0x40fd4c0000000000ull;
+  config.numSeqBlocks = 1;
+  config.numPipelinedRegions = 1;
+  config.numCoupled = 0;
+  config.numDecoupled = 0;
+  config.numScratchpad = 1;
+  region.configs.push_back(config);
+  accel::RawSchedInsert sched;
+  sched.funcIdx = 0;
+  sched.blockIdx = 1;
+  sched.width = 4;
+  sched.signature.push_back(entry.iface);
+  sched.latency = 9;
+  sched.opAreaBits = 0x40a0000000000000ull;
+  sched.regAreaBits = 0x4090000000000000ull;
+  sched.numOps = 6;
+  sched.starts.push_back(accel::RawSchedStart{2, 3});
+  region.schedInserts.push_back(sched);
+
+  struct Seed {
+    const char* name;
+    std::string bytes;
+  };
+  std::vector<Seed> seeds;
+  seeds.push_back({"meta_only.cayc", buildStream({accel::encodeMeta(meta)})});
+  seeds.push_back(
+      {"one_region.cayc",
+       buildStream({accel::encodeMeta(meta),
+                    accel::encodeRegionRecord(region)})});
+  accel::RawRegionRecord bare = region;
+  bare.schedInserts.clear();
+  bare.configs.front().loops.clear();
+  bare.configs.front().ifaces.clear();
+  seeds.push_back(
+      {"two_regions.cayc",
+       buildStream({accel::encodeMeta(meta), accel::encodeRegionRecord(region),
+                    accel::encodeRegionRecord(bare)})});
+
+  for (const Seed& seed : seeds) {
+    std::string path = dir + "/" + seed.name;
+    std::ofstream out(path, std::ios::binary);
+    out << seed.bytes;
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %zu seed files to %s\n", seeds.size(), dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+// Standalone replay driver: each argument is a corpus file fed through
+// runOne(). Exits 0 iff every file replays without tripping an invariant.
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--write-seeds") {
+    return writeSeeds(argv[2]);
+  }
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: fuzz_cache_replay <corpus-file>...\n"
+                 "       fuzz_cache_replay --write-seeds <dir>\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string bytes = text.str();
+    runOne(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+    std::printf("replayed %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}
+
+#endif  // CAYMAN_FUZZ_STANDALONE

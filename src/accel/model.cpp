@@ -209,10 +209,103 @@ const std::vector<AcceleratorConfig>& AcceleratorModel::generate(
     }
   }
   support::trace::count("model.cache_misses", 1);
+  // Only regions the cold path fully generates for are disk-cacheable: the
+  // early returns in generateUncached (non-candidate, never-executed) emit
+  // no counters, so replaying a stored record for them would produce metrics
+  // a cold run never writes.
+  if (persistentCache_ != nullptr && region->isCandidate() &&
+      profile_.cycles(region) > 0.0) {
+    return generatePersistent(region);
+  }
   // Compute outside the lock: generateUncached is a pure function of the
   // region, so two threads racing here produce identical lists and the
   // loser's copy is simply discarded by try_emplace.
   std::vector<AcceleratorConfig> configs = generateUncached(region);
+  std::lock_guard<std::mutex> lock(generateCacheMutex_);
+  return generateCache_.try_emplace(region, std::move(configs)).first->second;
+}
+
+const std::vector<AcceleratorConfig>& AcceleratorModel::generatePersistent(
+    const Region* region) const {
+  std::lock_guard<std::mutex> plock(persistentMutex_);
+  {
+    // Re-check under persistentMutex_: a racing caller may have finished
+    // this region while we waited.
+    std::lock_guard<std::mutex> lock(generateCacheMutex_);
+    auto it = generateCache_.find(region);
+    if (it != generateCache_.end()) return it->second;
+  }
+
+  if (const CachedRegion* hit = persistentCache_->find(region)) {
+    // Replay the cold generation's observable side effects. The schedule
+    // cache gains this region's insertions now, at hit time, so interleaved
+    // warm and cold regions see exactly the cache states they saw when the
+    // snapshot was recorded — later cold regions' hit/miss counts (and so
+    // sched.block_calls) stay byte-identical.
+    {
+      std::lock_guard<std::mutex> lock(schedCacheMutex_);
+      for (const CachedSchedule& sched : hit->schedInserts) {
+        std::vector<SchedCacheEntry>& entries =
+            schedCache_[std::make_pair(sched.block, sched.width)];
+        bool present = false;
+        for (const SchedCacheEntry& entry : entries) {
+          if (entry.signature == sched.signature) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) {
+          entries.push_back(SchedCacheEntry{sched.signature, sched.schedule});
+        }
+      }
+    }
+    // Counter deltas mirror the cold emission discipline: estimate and
+    // schedule counts appear only when nonzero (cold emits one count per
+    // call), candidates_total unconditionally (cold emits it once per full
+    // generateUncached).
+    if (hit->estimateCalls > 0) {
+      estimateCalls_.fetch_add(hit->estimateCalls, std::memory_order_relaxed);
+      support::trace::count("model.estimate_calls", hit->estimateCalls);
+    }
+    scheduler_.creditBlockCalls(hit->schedBlockCalls);
+    candidatesTotal_.fetch_add(hit->configs.size(), std::memory_order_relaxed);
+    support::trace::count("model.candidates_total", hit->configs.size());
+    std::lock_guard<std::mutex> lock(generateCacheMutex_);
+    return generateCache_.try_emplace(region, hit->configs).first->second;
+  }
+
+  // Disk miss: generate cold, capturing the side effects the snapshot must
+  // replay. Counter deltas are per-model reads around the call — correct
+  // because persistentMutex_ keeps this the only cold generation in flight.
+  uint64_t estimateBefore = estimateCalls_.load(std::memory_order_relaxed);
+  uint64_t blocksBefore = scheduler_.blockCalls();
+  // Local RAII guard (a local class has the enclosing function's access):
+  // cancellation can throw out of generateUncached mid-region, and the log
+  // must deactivate either way.
+  struct LogGuard {
+    const AcceleratorModel& model;
+    explicit LogGuard(const AcceleratorModel& model) : model(model) {
+      std::lock_guard<std::mutex> lock(model.schedCacheMutex_);
+      model.schedInsertLog_.clear();
+      model.schedLogActive_ = true;
+    }
+    ~LogGuard() {
+      std::lock_guard<std::mutex> lock(model.schedCacheMutex_);
+      model.schedLogActive_ = false;
+      model.schedInsertLog_.clear();
+    }
+    std::vector<CachedSchedule> take() {
+      std::lock_guard<std::mutex> lock(model.schedCacheMutex_);
+      model.schedLogActive_ = false;
+      return std::move(model.schedInsertLog_);
+    }
+  } guard(*this);
+
+  std::vector<AcceleratorConfig> configs = generateUncached(region);
+  persistentCache_->record(
+      region, configs,
+      estimateCalls_.load(std::memory_order_relaxed) - estimateBefore,
+      scheduler_.blockCalls() - blocksBefore, guard.take());
   std::lock_guard<std::mutex> lock(generateCacheMutex_);
   return generateCache_.try_emplace(region, std::move(configs)).first->second;
 }
@@ -527,6 +620,11 @@ hls::BlockSchedule AcceleratorModel::scheduleBlockCached(
   }
   hls::BlockSchedule schedule = scheduler_.scheduleBlock(block, ifaces, unroll);
   entries.push_back(SchedCacheEntry{std::move(signature), schedule});
+  if (schedLogActive_) {
+    const SchedCacheEntry& inserted = entries.back();
+    schedInsertLog_.push_back(
+        CachedSchedule{&block, unroll, inserted.signature, inserted.schedule});
+  }
   return schedule;
 }
 

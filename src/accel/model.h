@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "accel/config.h"
+#include "accel/model_cache.h"
 #include "analysis/roofline.h"
 #include "hls/scheduler.h"
 #include "sim/profiler.h"
@@ -78,6 +79,7 @@ class AcceleratorModel {
 
   const ModelParams& params() const { return params_; }
   const hls::TechLibrary& tech() const { return tech_; }
+  const hls::InterfaceTiming& timing() const { return scheduler_.timing(); }
   const analysis::WPst& wpst() const { return wpst_; }
   const sim::ProfileData& profile() const { return profile_; }
 
@@ -125,6 +127,16 @@ class AcceleratorModel {
   /// scheduleBlock() invocations made on this model's scheduler.
   uint64_t scheduleBlockCalls() const { return scheduler_.blockCalls(); }
 
+  /// Attaches a persistent snapshot (not owned; must outlive the model, or
+  /// be detached with nullptr first). generate() then consults it behind the
+  /// in-memory cache: a disk hit replays the cold generation's observable
+  /// side effects (counter deltas, schedule-cache insertions) instead of
+  /// regenerating, and a disk miss records them for the next save. Attach
+  /// before the first generate() call — warm replay assumes the schedule
+  /// cache evolves exactly as it did during the recorded cold run.
+  void attachPersistentCache(ModelCache* cache) { persistentCache_ = cache; }
+  ModelCache* persistentCache() const { return persistentCache_; }
+
  private:
   struct Estimate {
     double cycles = 0.0;  ///< whole-run cycles
@@ -134,6 +146,11 @@ class AcceleratorModel {
   };
 
   std::vector<AcceleratorConfig> generateUncached(
+      const analysis::Region* region) const;
+  /// Disk-backed slow path for cacheable regions (in-memory miss with a
+  /// persistent cache attached): replay a disk hit, or generate cold while
+  /// capturing the side effects to record.
+  const std::vector<AcceleratorConfig>& generatePersistent(
       const analysis::Region* region) const;
   std::vector<AcceleratorConfig> generateReference(
       const analysis::Region* region) const;
@@ -194,6 +211,20 @@ class AcceleratorModel {
   mutable std::map<std::pair<const ir::BasicBlock*, unsigned>,
                    std::vector<SchedCacheEntry>>
       schedCache_;
+  /// While a region generates cold under the persistent cache, its schedule
+  /// -cache insertions are logged here so the snapshot can replay them at
+  /// hit time in the same order. Both guarded by schedCacheMutex_.
+  mutable std::vector<CachedSchedule> schedInsertLog_;
+  mutable bool schedLogActive_ = false;
+
+  /// Optional persistent snapshot (not owned). persistentMutex_ serializes
+  /// cold generations under it so a captured counter delta belongs to one
+  /// region alone. The framework path is effectively single-threaded here
+  /// (warmGenerateCache runs before concurrent explore), so the lock is
+  /// correctness insurance for direct concurrent generate() callers, not a
+  /// bottleneck.
+  mutable std::mutex persistentMutex_;
+  ModelCache* persistentCache_ = nullptr;
 
   /// generate() memoization. unordered_map node references survive rehashes,
   /// so cached lists can be handed out by reference while other regions are

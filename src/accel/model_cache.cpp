@@ -1,0 +1,780 @@
+#include "accel/model_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "accel/model.h"
+#include "ir/module.h"
+#include "ir/printer.h"
+#include "support/trace.h"
+
+namespace cayman::accel {
+
+namespace {
+
+using support::Diagnostic;
+using support::Expected;
+using support::Stage;
+using support::blobio::ByteReader;
+using support::blobio::ByteWriter;
+using support::blobio::fnv1a64;
+
+constexpr uint8_t kTagMeta = 0;
+constexpr uint8_t kTagRegion = 1;
+/// Unroll widths / partition counts above this are corruption.
+constexpr uint32_t kMaxWidth = 1u << 20;
+constexpr size_t kMaxDiagnostics = 16;
+
+Diagnostic cacheError(const std::string& unit, std::string message) {
+  return Diagnostic{Stage::Cache, unit, std::move(message)};
+}
+
+void encodeIface(ByteWriter& w, const RawIface& iface) {
+  w.u8(iface.kind);
+  w.u32(iface.partitions);
+  w.u8(iface.hasArray ? 1 : 0);
+  if (iface.hasArray) w.str(iface.arrayName);
+  w.u64(iface.footprintBytes);
+  w.u8(iface.promoted ? 1 : 0);
+}
+
+bool decodeBool(ByteReader& r, bool& out) {
+  uint8_t byte = 0;
+  if (!r.u8(byte) || byte > 1) return false;  // >1 breaks re-encode fixpoint
+  out = byte == 1;
+  return true;
+}
+
+bool decodeIface(ByteReader& r, const ModelCacheLimits& limits,
+                 RawIface& iface) {
+  if (!r.u8(iface.kind) || iface.kind > 2) return false;
+  if (!r.u32(iface.partitions) || iface.partitions < 1 ||
+      iface.partitions > kMaxWidth) {
+    return false;
+  }
+  if (!decodeBool(r, iface.hasArray)) return false;
+  if (iface.hasArray && !r.str(iface.arrayName, limits.maxStringBytes)) {
+    return false;
+  }
+  if (!r.u64(iface.footprintBytes)) return false;
+  return decodeBool(r, iface.promoted);
+}
+
+RawIface rawFromIface(const hls::AccessIface& iface) {
+  RawIface raw;
+  raw.kind = static_cast<uint8_t>(iface.kind);
+  raw.partitions = iface.partitions;
+  raw.hasArray = iface.array != nullptr;
+  if (raw.hasArray) raw.arrayName = iface.array->name();
+  raw.footprintBytes = iface.footprintBytes;
+  raw.promoted = iface.promoted;
+  return raw;
+}
+
+uint64_t doubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Index of `inst` inside its block, or nullopt when absent.
+std::optional<uint32_t> instIndexIn(const ir::BasicBlock* block,
+                                    const ir::Instruction* inst) {
+  const auto& insts = block->instructions();
+  for (uint32_t i = 0; i < insts.size(); ++i) {
+    if (insts[i].get() == inst) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+// --- Raw encode -------------------------------------------------------------
+
+std::string encodeMeta(const RawMeta& meta) {
+  ByteWriter w;
+  w.u8(kTagMeta);
+  w.u32(meta.schema);
+  w.u64(meta.irHash);
+  w.u64(meta.fingerprint);
+  w.str(meta.moduleName);
+  return w.take();
+}
+
+std::string encodeRegionRecord(const RawRegionRecord& record) {
+  ByteWriter w;
+  w.u8(kTagRegion);
+  w.u32(record.regionId);
+  w.str(record.label);
+  w.u64(record.estimateCalls);
+  w.u64(record.schedBlockCalls);
+  w.u32(static_cast<uint32_t>(record.configs.size()));
+  for (const RawConfig& config : record.configs) {
+    w.u32(static_cast<uint32_t>(config.loops.size()));
+    for (const RawLoopConfig& loop : config.loops) {
+      w.u32(loop.loopRegionId);
+      w.u32(loop.unroll);
+      w.u8(loop.pipelined ? 1 : 0);
+    }
+    w.u32(static_cast<uint32_t>(config.ifaces.size()));
+    for (const RawIfaceEntry& entry : config.ifaces) {
+      w.u32(entry.blockIdx);
+      w.u32(entry.instIdx);
+      encodeIface(w, entry.iface);
+    }
+    w.u64(config.cyclesBits);
+    w.u64(config.cpuCyclesBits);
+    w.u64(config.areaBits);
+    w.u32(config.numSeqBlocks);
+    w.u32(config.numPipelinedRegions);
+    w.u32(config.numCoupled);
+    w.u32(config.numDecoupled);
+    w.u32(config.numScratchpad);
+  }
+  w.u32(static_cast<uint32_t>(record.schedInserts.size()));
+  for (const RawSchedInsert& sched : record.schedInserts) {
+    w.u32(sched.funcIdx);
+    w.u32(sched.blockIdx);
+    w.u32(sched.width);
+    w.u32(static_cast<uint32_t>(sched.signature.size()));
+    for (const RawIface& iface : sched.signature) encodeIface(w, iface);
+    w.u32(sched.latency);
+    w.u64(sched.opAreaBits);
+    w.u64(sched.regAreaBits);
+    w.u32(sched.numOps);
+    w.u32(static_cast<uint32_t>(sched.starts.size()));
+    for (const RawSchedStart& start : sched.starts) {
+      w.u32(start.instIdx);
+      w.u32(start.cycle);
+    }
+  }
+  return w.take();
+}
+
+// --- Raw decode -------------------------------------------------------------
+
+Expected<RawMeta> decodeMeta(std::string_view payload,
+                             const ModelCacheLimits& limits,
+                             const std::string& unit) {
+  ByteReader r(payload);
+  RawMeta meta;
+  uint8_t tag = 0;
+  if (!r.u8(tag) || tag != kTagMeta) {
+    return cacheError(unit, "first record is not a meta record");
+  }
+  if (!r.u32(meta.schema) || !r.u64(meta.irHash) || !r.u64(meta.fingerprint) ||
+      !r.str(meta.moduleName, limits.maxStringBytes) || !r.done()) {
+    return cacheError(unit, "malformed meta record");
+  }
+  return meta;
+}
+
+Expected<RawRegionRecord> decodeRegionRecord(std::string_view payload,
+                                             const ModelCacheLimits& limits,
+                                             const std::string& unit) {
+  ByteReader r(payload);
+  RawRegionRecord record;
+  auto bad = [&](const char* what) {
+    return cacheError(unit, std::string("malformed region record: ") + what);
+  };
+  uint8_t tag = 0;
+  if (!r.u8(tag) || tag != kTagRegion) return bad("bad tag");
+  if (!r.u32(record.regionId) || !r.str(record.label, limits.maxStringBytes)) {
+    return bad("id/label");
+  }
+  if (!r.u64(record.estimateCalls) ||
+      record.estimateCalls > limits.maxCounterDelta) {
+    return bad("estimate-call delta");
+  }
+  if (!r.u64(record.schedBlockCalls) ||
+      record.schedBlockCalls > limits.maxCounterDelta) {
+    return bad("schedule-call delta");
+  }
+
+  uint32_t numConfigs = 0;
+  if (!r.u32(numConfigs) || numConfigs < 1 ||
+      numConfigs > limits.maxConfigsPerRegion) {
+    return bad("config count");
+  }
+  record.configs.resize(numConfigs);
+  for (RawConfig& config : record.configs) {
+    uint32_t numLoops = 0;
+    if (!r.u32(numLoops) || numLoops > limits.maxLoopsPerConfig) {
+      return bad("loop count");
+    }
+    config.loops.resize(numLoops);
+    for (RawLoopConfig& loop : config.loops) {
+      if (!r.u32(loop.loopRegionId) || !r.u32(loop.unroll) ||
+          loop.unroll < 1 || loop.unroll > kMaxWidth ||
+          !decodeBool(r, loop.pipelined)) {
+        return bad("loop config");
+      }
+    }
+    uint32_t numIfaces = 0;
+    if (!r.u32(numIfaces) || numIfaces > limits.maxIfacesPerConfig) {
+      return bad("interface count");
+    }
+    config.ifaces.resize(numIfaces);
+    for (RawIfaceEntry& entry : config.ifaces) {
+      if (!r.u32(entry.blockIdx) || !r.u32(entry.instIdx) ||
+          !decodeIface(r, limits, entry.iface)) {
+        return bad("interface entry");
+      }
+    }
+    if (!r.u64(config.cyclesBits) || !r.u64(config.cpuCyclesBits) ||
+        !r.u64(config.areaBits) || !r.u32(config.numSeqBlocks) ||
+        !r.u32(config.numPipelinedRegions) || !r.u32(config.numCoupled) ||
+        !r.u32(config.numDecoupled) || !r.u32(config.numScratchpad)) {
+      return bad("config estimates");
+    }
+  }
+
+  uint32_t numSched = 0;
+  if (!r.u32(numSched) || numSched > limits.maxSchedEntries) {
+    return bad("schedule count");
+  }
+  record.schedInserts.resize(numSched);
+  for (RawSchedInsert& sched : record.schedInserts) {
+    if (!r.u32(sched.funcIdx) || !r.u32(sched.blockIdx) ||
+        !r.u32(sched.width) || sched.width < 1 || sched.width > kMaxWidth) {
+      return bad("schedule key");
+    }
+    uint32_t numSig = 0;
+    if (!r.u32(numSig) || numSig > limits.maxIfacesPerConfig) {
+      return bad("signature count");
+    }
+    sched.signature.resize(numSig);
+    for (RawIface& iface : sched.signature) {
+      if (!decodeIface(r, limits, iface)) return bad("signature entry");
+    }
+    if (!r.u32(sched.latency) || !r.u64(sched.opAreaBits) ||
+        !r.u64(sched.regAreaBits) || !r.u32(sched.numOps)) {
+      return bad("schedule result");
+    }
+    uint32_t numStarts = 0;
+    if (!r.u32(numStarts) || numStarts > limits.maxSchedStarts) {
+      return bad("start count");
+    }
+    sched.starts.resize(numStarts);
+    for (RawSchedStart& start : sched.starts) {
+      if (!r.u32(start.instIdx) || !r.u32(start.cycle)) return bad("start");
+    }
+  }
+  if (!r.done()) return bad("trailing bytes");
+  return record;
+}
+
+Expected<SnapshotSummary> summarizeSnapshot(std::string_view bytes,
+                                            const ModelCacheLimits& limits,
+                                            const std::string& unit) {
+  Expected<support::blobio::ParsedStream> parsed =
+      support::blobio::parseStream(bytes, limits.stream, unit);
+  if (!parsed.ok()) return parsed.diagnostic();
+  const support::blobio::ParsedStream& stream = parsed.value();
+
+  SnapshotSummary summary;
+  summary.streamVersion = stream.version;
+  summary.truncated = stream.truncated;
+  summary.rejectedRecords = stream.rejectedRecords;
+  if (stream.records.empty()) {
+    return cacheError(unit, "snapshot has no meta record");
+  }
+  Expected<RawMeta> meta = decodeMeta(stream.records.front(), limits, unit);
+  if (!meta.ok()) return meta.diagnostic();
+  summary.meta = meta.takeValue();
+  if (summary.meta.schema != kModelCacheSchema) {
+    return cacheError(unit, "snapshot schema version " +
+                                std::to_string(summary.meta.schema) +
+                                " (expected " +
+                                std::to_string(kModelCacheSchema) + ")");
+  }
+
+  std::vector<uint32_t> seen;
+  for (size_t i = 1; i < stream.records.size(); ++i) {
+    Expected<RawRegionRecord> record =
+        decodeRegionRecord(stream.records[i], limits, unit);
+    if (!record.ok()) {
+      ++summary.rejectedRecords;
+      if (!summary.firstReject.has_value()) {
+        summary.firstReject = record.diagnostic();
+      }
+      continue;
+    }
+    const RawRegionRecord& raw = record.value();
+    if (std::find(seen.begin(), seen.end(), raw.regionId) != seen.end()) {
+      ++summary.rejectedRecords;
+      if (!summary.firstReject.has_value()) {
+        summary.firstReject = cacheError(
+            unit, "duplicate region record id " + std::to_string(raw.regionId));
+      }
+      continue;
+    }
+    seen.push_back(raw.regionId);
+    ++summary.regionRecords;
+    summary.configs += raw.configs.size();
+    summary.schedInserts += raw.schedInserts.size();
+  }
+  return summary;
+}
+
+// --- Hashing ----------------------------------------------------------------
+
+uint64_t ModelCache::irContentHash(const ir::Module& module) {
+  return fnv1a64(ir::printModule(module));
+}
+
+uint64_t ModelCache::modelFingerprint(const ModelParams& params,
+                                      const hls::TechLibrary& tech,
+                                      const hls::InterfaceTiming& timing) {
+  // Every parameter the generation result depends on goes through the
+  // writer; the IR hash covers everything the program contributes (profile,
+  // wPST shape, region numbering).
+  ByteWriter w;
+  w.u32(kModelCacheSchema);
+  w.f64bits(params.clockNs);
+  w.f64bits(params.beta);
+  w.u32(static_cast<uint32_t>(params.unrollFactors.size()));
+  for (unsigned factor : params.unrollFactors) w.u32(factor);
+  w.u64(params.maxScratchpadBytes);
+  w.u8(params.allowDecoupled ? 1 : 0);
+  w.u8(params.allowScratchpad ? 1 : 0);
+  w.u8(params.allowPipelining ? 1 : 0);
+  w.u8(params.allowUnrolling ? 1 : 0);
+  w.u64(params.unknownTripFallback);
+  w.u8(params.generateMode == GenerateMode::Reference ? 1 : 0);
+  for (double field :
+       {tech.registerAreaPerBit, tech.muxAreaPerInputBit, tech.fsmAreaPerState,
+        tech.acceleratorWrapperArea, tech.mergeCtrlArea, tech.configBitArea,
+        tech.lsuArea, tech.aguArea, tech.fifoAreaPerByte,
+        tech.scratchpadAreaPerByte, tech.scratchpadPortArea,
+        tech.dmaEngineArea, tech.cva6TileAreaUm2}) {
+    w.f64bits(field);
+  }
+  for (unsigned field :
+       {timing.coupledLoadLatency, timing.coupledLoadOccupancy,
+        timing.coupledStoreLatency, timing.coupledStoreOccupancy,
+        timing.decoupledLatency, timing.scratchpadLatency,
+        timing.dmaBytesPerCycle, timing.fifoDepthElems}) {
+    w.u32(field);
+  }
+  return fnv1a64(w.bytes());
+}
+
+std::string ModelCache::snapshotFileName(uint64_t irHash,
+                                         uint64_t fingerprint) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "model-%016llx-%016llx.cayc",
+                static_cast<unsigned long long>(irHash),
+                static_cast<unsigned long long>(fingerprint));
+  return name;
+}
+
+// --- ModelCache -------------------------------------------------------------
+
+ModelCache::ModelCache(const std::string& dir, const analysis::WPst& wpst,
+                       uint64_t irHash, uint64_t fingerprint,
+                       ModelCacheLimits limits)
+    : path_(dir + "/" + snapshotFileName(irHash, fingerprint)),
+      wpst_(wpst),
+      irHash_(irHash),
+      fingerprint_(fingerprint),
+      limits_(limits) {}
+
+void ModelCache::noteDiagnostic(Diagnostic diagnostic) {
+  if (diagnostics_.size() < kMaxDiagnostics) {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+}
+
+Expected<CachedRegion> ModelCache::resolve(const RawRegionRecord& raw) const {
+  auto bad = [&](std::string what) {
+    return cacheError(path_, "region record " + std::to_string(raw.regionId) +
+                                 ": " + std::move(what));
+  };
+  const auto& regions = wpst_.allRegions();
+  if (raw.regionId >= regions.size()) return bad("region id out of range");
+  const analysis::Region* region = wpst_.regionById(raw.regionId);
+  if (region->label() != raw.label) {
+    return bad("label mismatch ('" + raw.label + "' vs '" + region->label() +
+               "')");
+  }
+  const ir::Module& module = wpst_.module();
+
+  auto resolveIface = [&](const RawIface& rawIface,
+                          hls::AccessIface& out) -> bool {
+    out.kind = static_cast<hls::IfaceKind>(rawIface.kind);
+    out.partitions = rawIface.partitions;
+    out.array = nullptr;
+    if (rawIface.hasArray) {
+      out.array = module.globalByName(rawIface.arrayName);
+      if (out.array == nullptr) return false;
+    }
+    out.footprintBytes = rawIface.footprintBytes;
+    out.promoted = rawIface.promoted;
+    return true;
+  };
+
+  CachedRegion entry;
+  entry.region = region;
+  entry.estimateCalls = raw.estimateCalls;
+  entry.schedBlockCalls = raw.schedBlockCalls;
+
+  for (const RawConfig& rawConfig : raw.configs) {
+    AcceleratorConfig config;
+    config.region = region;
+    for (const RawLoopConfig& rawLoop : rawConfig.loops) {
+      if (rawLoop.loopRegionId >= regions.size()) {
+        return bad("loop region id out of range");
+      }
+      const analysis::Region* loopRegion =
+          wpst_.regionById(rawLoop.loopRegionId);
+      if (loopRegion->kind() != analysis::RegionKind::Loop) {
+        return bad("loop id names a non-loop region");
+      }
+      LoopConfig lc;
+      lc.loop = loopRegion->loop();
+      lc.unroll = rawLoop.unroll;
+      lc.pipelined = rawLoop.pipelined;
+      config.loops.push_back(lc);
+    }
+    for (const RawIfaceEntry& rawEntry : rawConfig.ifaces) {
+      if (rawEntry.blockIdx >= region->blocks().size()) {
+        return bad("interface block index out of range");
+      }
+      const ir::BasicBlock* block = region->blocks()[rawEntry.blockIdx];
+      if (rawEntry.instIdx >= block->instructions().size()) {
+        return bad("interface instruction index out of range");
+      }
+      const ir::Instruction* inst =
+          block->instructions()[rawEntry.instIdx].get();
+      if (!inst->isMemoryAccess()) {
+        return bad("interface names a non-memory instruction");
+      }
+      hls::AccessIface iface;
+      if (!resolveIface(rawEntry.iface, iface)) {
+        return bad("unknown array '" + rawEntry.iface.arrayName + "'");
+      }
+      if (!config.ifaces.emplace(inst, iface).second) {
+        return bad("duplicate interface entry");
+      }
+    }
+    config.cycles = bitsToDouble(rawConfig.cyclesBits);
+    config.cpuCycles = bitsToDouble(rawConfig.cpuCyclesBits);
+    config.areaUm2 = bitsToDouble(rawConfig.areaBits);
+    if (!std::isfinite(config.cycles) || !std::isfinite(config.cpuCycles) ||
+        !std::isfinite(config.areaUm2)) {
+      return bad("non-finite estimate");
+    }
+    config.numSeqBlocks = rawConfig.numSeqBlocks;
+    config.numPipelinedRegions = rawConfig.numPipelinedRegions;
+    config.numCoupled = rawConfig.numCoupled;
+    config.numDecoupled = rawConfig.numDecoupled;
+    config.numScratchpad = rawConfig.numScratchpad;
+    entry.configs.push_back(std::move(config));
+  }
+
+  for (const RawSchedInsert& rawSched : raw.schedInserts) {
+    if (rawSched.funcIdx >= module.functions().size()) {
+      return bad("schedule function index out of range");
+    }
+    const ir::Function* function = module.functions()[rawSched.funcIdx].get();
+    if (rawSched.blockIdx >= function->blocks().size()) {
+      return bad("schedule block index out of range");
+    }
+    const ir::BasicBlock* block = function->blocks()[rawSched.blockIdx].get();
+
+    CachedSchedule sched;
+    sched.block = block;
+    sched.width = rawSched.width;
+    for (const RawIface& rawIface : rawSched.signature) {
+      hls::AccessIface iface;
+      if (!resolveIface(rawIface, iface)) {
+        return bad("unknown array in schedule signature");
+      }
+      sched.signature.push_back(iface);
+    }
+    sched.schedule.latency = rawSched.latency;
+    sched.schedule.opAreaUm2 = bitsToDouble(rawSched.opAreaBits);
+    sched.schedule.regAreaUm2 = bitsToDouble(rawSched.regAreaBits);
+    sched.schedule.numOps = rawSched.numOps;
+    if (!std::isfinite(sched.schedule.opAreaUm2) ||
+        !std::isfinite(sched.schedule.regAreaUm2)) {
+      return bad("non-finite schedule area");
+    }
+    for (const RawSchedStart& start : rawSched.starts) {
+      if (start.instIdx >= block->instructions().size()) {
+        return bad("schedule start index out of range");
+      }
+      const ir::Instruction* inst = block->instructions()[start.instIdx].get();
+      if (!sched.schedule.start.emplace(inst, start.cycle).second) {
+        return bad("duplicate schedule start");
+      }
+    }
+    entry.schedInserts.push_back(std::move(sched));
+  }
+  return entry;
+}
+
+uint64_t ModelCache::load() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!support::blobio::fileExists(path_)) {
+    return 0;  // clean cold start, not a diagnostic
+  }
+  stats_.fileFound = true;
+
+  Expected<std::string> bytes = support::blobio::readFile(path_, limits_.stream);
+  if (!bytes.ok()) {
+    noteDiagnostic(bytes.diagnostic());
+    return 0;
+  }
+  Expected<support::blobio::ParsedStream> parsed =
+      support::blobio::parseStream(bytes.value(), limits_.stream, path_);
+  if (!parsed.ok()) {
+    noteDiagnostic(parsed.diagnostic());
+    return 0;
+  }
+  const support::blobio::ParsedStream& stream = parsed.value();
+  stats_.rejectedRecords += stream.rejectedRecords;
+  if (stream.rejectedRecords > 0) {
+    noteDiagnostic(cacheError(
+        path_, std::to_string(stream.rejectedRecords) +
+                   " record(s) failed their checksum; affected regions "
+                   "regenerate cold"));
+  }
+  if (stream.truncated) {
+    noteDiagnostic(cacheError(
+        path_, "snapshot truncated; keeping the records that survived"));
+  }
+  if (stream.records.empty()) {
+    noteDiagnostic(cacheError(path_, "snapshot has no meta record"));
+    return 0;
+  }
+
+  Expected<RawMeta> metaOr = decodeMeta(stream.records.front(), limits_, path_);
+  if (!metaOr.ok()) {
+    noteDiagnostic(metaOr.diagnostic());
+    return 0;
+  }
+  const RawMeta& meta = metaOr.value();
+  if (meta.schema != kModelCacheSchema) {
+    noteDiagnostic(cacheError(
+        path_, "schema version skew (file " + std::to_string(meta.schema) +
+                   ", expected " + std::to_string(kModelCacheSchema) +
+                   "); starting cold"));
+    return 0;
+  }
+  if (meta.irHash != irHash_) {
+    noteDiagnostic(cacheError(
+        path_, "IR content hash mismatch; snapshot is for a different "
+               "module — starting cold"));
+    return 0;
+  }
+  if (meta.fingerprint != fingerprint_) {
+    noteDiagnostic(cacheError(
+        path_, "model fingerprint mismatch; snapshot was built under "
+               "different parameters — starting cold"));
+    return 0;
+  }
+  stats_.fileUsable = true;
+
+  for (size_t i = 1; i < stream.records.size(); ++i) {
+    Expected<RawRegionRecord> rawOr =
+        decodeRegionRecord(stream.records[i], limits_, path_);
+    if (!rawOr.ok()) {
+      ++stats_.rejectedRecords;
+      noteDiagnostic(rawOr.diagnostic());
+      continue;
+    }
+    RawRegionRecord raw = rawOr.takeValue();
+    if (rawByRegion_.count(raw.regionId) > 0) {
+      ++stats_.rejectedRecords;
+      noteDiagnostic(cacheError(path_, "duplicate region record id " +
+                                           std::to_string(raw.regionId)));
+      continue;
+    }
+    Expected<CachedRegion> resolvedOr = resolve(raw);
+    if (!resolvedOr.ok()) {
+      ++stats_.rejectedRecords;
+      noteDiagnostic(resolvedOr.diagnostic());
+      continue;
+    }
+    uint32_t id = raw.regionId;
+    rawByRegion_.emplace(id, std::move(raw));
+    resolved_.emplace(id, resolvedOr.takeValue());
+  }
+  stats_.loadedRegions = resolved_.size();
+  if (stats_.rejectedRecords > 0 && support::trace::on()) {
+    support::trace::TraceRecorder::global().countGlobal(
+        "cache.rejected", stats_.rejectedRecords);
+  }
+  return stats_.loadedRegions;
+}
+
+const CachedRegion* ModelCache::find(const analysis::Region* region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = resolved_.find(static_cast<uint32_t>(region->id()));
+  if (it != resolved_.end() && it->second.region == region) {
+    ++stats_.diskHits;
+    if (support::trace::on()) {
+      support::trace::TraceRecorder::global().countGlobal("cache.disk_hits",
+                                                          1);
+    }
+    return &it->second;
+  }
+  ++stats_.diskMisses;
+  if (support::trace::on()) {
+    support::trace::TraceRecorder::global().countGlobal("cache.disk_misses",
+                                                        1);
+  }
+  return nullptr;
+}
+
+void ModelCache::record(const analysis::Region* region,
+                        const std::vector<AcceleratorConfig>& configs,
+                        uint64_t estimateCalls, uint64_t schedBlockCalls,
+                        std::vector<CachedSchedule> schedInserts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint32_t id = static_cast<uint32_t>(region->id());
+  if (rawByRegion_.count(id) > 0) return;  // idempotent
+
+  RawRegionRecord raw;
+  raw.regionId = id;
+  raw.label = region->label();
+  raw.estimateCalls = estimateCalls;
+  raw.schedBlockCalls = schedBlockCalls;
+
+  const ir::Module& module = wpst_.module();
+  for (const AcceleratorConfig& config : configs) {
+    RawConfig rawConfig;
+    for (const LoopConfig& lc : config.loops) {
+      const analysis::Region* loopRegion = wpst_.loopRegion(lc.loop);
+      if (loopRegion == nullptr) return;  // unrepresentable: skip caching
+      RawLoopConfig rawLoop;
+      rawLoop.loopRegionId = static_cast<uint32_t>(loopRegion->id());
+      rawLoop.unroll = lc.unroll;
+      rawLoop.pipelined = lc.pipelined;
+      rawConfig.loops.push_back(rawLoop);
+    }
+    // Interface entries in program order (block index, instruction index):
+    // the on-disk bytes stay deterministic even though IfaceAssignment
+    // iterates in pointer order.
+    for (uint32_t b = 0; b < config.region->blocks().size(); ++b) {
+      const ir::BasicBlock* block = config.region->blocks()[b];
+      const auto& insts = block->instructions();
+      for (uint32_t i = 0; i < insts.size(); ++i) {
+        auto it = config.ifaces.find(insts[i].get());
+        if (it == config.ifaces.end()) continue;
+        RawIfaceEntry entry;
+        entry.blockIdx = b;
+        entry.instIdx = i;
+        entry.iface = rawFromIface(it->second);
+        rawConfig.ifaces.push_back(std::move(entry));
+      }
+    }
+    if (rawConfig.ifaces.size() != config.ifaces.size()) return;
+    rawConfig.cyclesBits = doubleBits(config.cycles);
+    rawConfig.cpuCyclesBits = doubleBits(config.cpuCycles);
+    rawConfig.areaBits = doubleBits(config.areaUm2);
+    rawConfig.numSeqBlocks = config.numSeqBlocks;
+    rawConfig.numPipelinedRegions = config.numPipelinedRegions;
+    rawConfig.numCoupled = config.numCoupled;
+    rawConfig.numDecoupled = config.numDecoupled;
+    rawConfig.numScratchpad = config.numScratchpad;
+    raw.configs.push_back(std::move(rawConfig));
+  }
+  if (raw.configs.empty()) return;  // cacheable regions always have configs
+
+  for (const CachedSchedule& sched : schedInserts) {
+    RawSchedInsert rawSched;
+    bool located = false;
+    for (uint32_t f = 0; f < module.functions().size() && !located; ++f) {
+      const auto& blocks = module.functions()[f]->blocks();
+      for (uint32_t b = 0; b < blocks.size(); ++b) {
+        if (blocks[b].get() == sched.block) {
+          rawSched.funcIdx = f;
+          rawSched.blockIdx = b;
+          located = true;
+          break;
+        }
+      }
+    }
+    if (!located) return;
+    rawSched.width = sched.width;
+    for (const hls::AccessIface& iface : sched.signature) {
+      rawSched.signature.push_back(rawFromIface(iface));
+    }
+    rawSched.latency = sched.schedule.latency;
+    rawSched.opAreaBits = doubleBits(sched.schedule.opAreaUm2);
+    rawSched.regAreaBits = doubleBits(sched.schedule.regAreaUm2);
+    rawSched.numOps = sched.schedule.numOps;
+    // Starts sorted by instruction index (the map iterates in pointer
+    // order, which is not stable run to run).
+    for (const auto& [inst, cycle] : sched.schedule.start) {
+      std::optional<uint32_t> idx = instIndexIn(sched.block, inst);
+      if (!idx.has_value()) return;
+      rawSched.starts.push_back(RawSchedStart{*idx, cycle});
+    }
+    std::sort(rawSched.starts.begin(), rawSched.starts.end(),
+              [](const RawSchedStart& a, const RawSchedStart& b) {
+                return a.instIdx < b.instIdx;
+              });
+    raw.schedInserts.push_back(std::move(rawSched));
+  }
+
+  rawByRegion_.emplace(id, std::move(raw));
+  dirty_ = true;
+}
+
+bool ModelCache::dirty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dirty_;
+}
+
+Expected<uint64_t> ModelCache::save() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!dirty_) return uint64_t{0};
+
+  RawMeta meta;
+  meta.schema = kModelCacheSchema;
+  meta.irHash = irHash_;
+  meta.fingerprint = fingerprint_;
+  meta.moduleName = wpst_.module().name();
+
+  std::vector<std::string> payloads;
+  payloads.reserve(rawByRegion_.size() + 1);
+  payloads.push_back(encodeMeta(meta));
+  for (const auto& [id, raw] : rawByRegion_) {
+    (void)id;
+    payloads.push_back(encodeRegionRecord(raw));
+  }
+  std::string bytes = support::blobio::buildStream(payloads);
+  Expected<uint64_t> written = support::blobio::writeFileAtomic(path_, bytes);
+  if (!written.ok()) {
+    noteDiagnostic(written.diagnostic());
+    return written;
+  }
+  dirty_ = false;
+  stats_.saved = true;
+  stats_.savedRegions = rawByRegion_.size();
+  return written;
+}
+
+ModelCacheStats ModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<support::Diagnostic> ModelCache::diagnostics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return diagnostics_;
+}
+
+}  // namespace cayman::accel

@@ -1,0 +1,277 @@
+// Persistent, corruption-tolerant snapshot of the accelerator model's
+// generate() cache.
+//
+// One snapshot file holds the per-region candidate lists of one
+// (module, model-parameter) pair, keyed by two 64-bit hashes:
+//
+//   IR content hash   — fnv1a64 of the printed module. The profile, the
+//                       wPST, and the region numbering are deterministic
+//                       functions of the IR, so this pins every input the
+//                       generation step reads from the program.
+//   model fingerprint — hash of every ModelParams field that shapes the
+//                       result, the TechLibrary constants, the
+//                       InterfaceTiming parameters, and a schema salt.
+//
+// A hash mismatch means the snapshot answers a different question and the
+// whole file is ignored (cold start, one diagnostic). Within a matching
+// file, damage is contained per record: a record that fails its CRC, its
+// structural decode, or its resolution against the live wPST is dropped and
+// only those regions regenerate cold.
+//
+// Byte-identity contract: a warm run must reproduce a cold run's stdout,
+// metrics and trace exactly, so each record also carries the trace-counter
+// deltas (estimate calls, scheduleBlock calls) and the schedule-cache
+// insertions its cold generation produced; AcceleratorModel replays them on
+// a disk hit (see model.cpp). Pointer-laden structures travel by stable
+// names and indices — regions by id+label, loops by their loop-region id,
+// instructions by (block index, instruction index), arrays by name — and
+// doubles as raw bit patterns.
+//
+// The raw (Raw*) layer is context-free and shared with tools/cache_check
+// and fuzz/fuzz_cache: decode rejects out-of-cap input, and encode(decode(x))
+// == x for every accepted payload (the fuzzer's fixpoint invariant).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/config.h"
+#include "hls/scheduler.h"
+#include "support/blobio.h"
+#include "support/status.h"
+
+namespace cayman::ir {
+class Module;
+}
+
+namespace cayman::accel {
+
+struct ModelParams;
+
+/// Payload schema version (independent of the blobio stream version); bump
+/// whenever a record's field layout changes.
+inline constexpr uint32_t kModelCacheSchema = 1;
+
+/// Bounded-read caps for snapshot payloads (the ParserLimits idiom).
+struct ModelCacheLimits {
+  support::blobio::Limits stream;
+  uint32_t maxRegions = 1u << 20;
+  uint32_t maxConfigsPerRegion = 4096;
+  uint32_t maxLoopsPerConfig = 1024;
+  uint32_t maxIfacesPerConfig = 1u << 16;
+  uint32_t maxSchedEntries = 1u << 16;
+  uint32_t maxSchedStarts = 1u << 16;
+  uint32_t maxStringBytes = 4096;
+  /// Replayed counter deltas above this are corruption, not measurements.
+  uint64_t maxCounterDelta = 1ull << 40;
+};
+
+// --- Raw (context-free) record layer ---------------------------------------
+
+struct RawMeta {
+  uint32_t schema = kModelCacheSchema;
+  uint64_t irHash = 0;
+  uint64_t fingerprint = 0;
+  std::string moduleName;
+};
+
+struct RawIface {
+  uint8_t kind = 0;  ///< hls::IfaceKind as u8
+  uint32_t partitions = 1;
+  bool hasArray = false;
+  std::string arrayName;
+  uint64_t footprintBytes = 0;
+  bool promoted = false;
+};
+
+struct RawLoopConfig {
+  uint32_t loopRegionId = 0;  ///< Region::id() of the loop's region
+  uint32_t unroll = 1;
+  bool pipelined = false;
+};
+
+struct RawIfaceEntry {
+  uint32_t blockIdx = 0;  ///< index into Region::blocks()
+  uint32_t instIdx = 0;   ///< index into BasicBlock::instructions()
+  RawIface iface;
+};
+
+struct RawConfig {
+  std::vector<RawLoopConfig> loops;
+  std::vector<RawIfaceEntry> ifaces;
+  uint64_t cyclesBits = 0;
+  uint64_t cpuCyclesBits = 0;
+  uint64_t areaBits = 0;
+  uint32_t numSeqBlocks = 0;
+  uint32_t numPipelinedRegions = 0;
+  uint32_t numCoupled = 0;
+  uint32_t numDecoupled = 0;
+  uint32_t numScratchpad = 0;
+};
+
+struct RawSchedStart {
+  uint32_t instIdx = 0;  ///< index into the scheduled block's instructions
+  uint32_t cycle = 0;
+};
+
+/// One schedule-cache insertion made while a region generated cold.
+struct RawSchedInsert {
+  uint32_t funcIdx = 0;   ///< index into Module::functions()
+  uint32_t blockIdx = 0;  ///< index into Function::blocks()
+  uint32_t width = 1;     ///< unroll width of the cache key
+  std::vector<RawIface> signature;
+  uint32_t latency = 0;
+  uint64_t opAreaBits = 0;
+  uint64_t regAreaBits = 0;
+  uint32_t numOps = 0;
+  std::vector<RawSchedStart> starts;
+};
+
+struct RawRegionRecord {
+  uint32_t regionId = 0;
+  std::string label;  ///< belt-and-braces check against Region::label()
+  uint64_t estimateCalls = 0;
+  uint64_t schedBlockCalls = 0;
+  std::vector<RawConfig> configs;
+  std::vector<RawSchedInsert> schedInserts;
+};
+
+std::string encodeMeta(const RawMeta& meta);
+std::string encodeRegionRecord(const RawRegionRecord& record);
+/// Structural decode with caps; the Diagnostic's unit is `unit`.
+support::Expected<RawMeta> decodeMeta(std::string_view payload,
+                                      const ModelCacheLimits& limits,
+                                      const std::string& unit = "");
+support::Expected<RawRegionRecord> decodeRegionRecord(
+    std::string_view payload, const ModelCacheLimits& limits,
+    const std::string& unit = "");
+
+/// Context-free whole-file summary (tools/cache_check, fuzzing): stream
+/// framing plus a structural decode of every surviving record. Fails only
+/// on whole-stream damage, like ModelCache::load.
+struct SnapshotSummary {
+  uint32_t streamVersion = 0;
+  RawMeta meta;
+  uint64_t regionRecords = 0;
+  uint64_t configs = 0;
+  uint64_t schedInserts = 0;
+  /// CRC-skipped + structurally-rejected records (duplicates included).
+  uint64_t rejectedRecords = 0;
+  bool truncated = false;
+  /// First structural-rejection reason, when any.
+  std::optional<support::Diagnostic> firstReject;
+};
+support::Expected<SnapshotSummary> summarizeSnapshot(
+    std::string_view bytes, const ModelCacheLimits& limits,
+    const std::string& unit = "");
+
+// --- Resolved layer ---------------------------------------------------------
+
+/// A resolved RawSchedInsert: ready to materialize into the model's
+/// (block, width, signature) schedule cache on a disk hit.
+struct CachedSchedule {
+  const ir::BasicBlock* block = nullptr;
+  unsigned width = 1;
+  std::vector<hls::AccessIface> signature;
+  hls::BlockSchedule schedule;
+};
+
+/// One warm region: everything generate() needs to skip cold generation
+/// while reproducing its observable side effects.
+struct CachedRegion {
+  const analysis::Region* region = nullptr;
+  std::vector<AcceleratorConfig> configs;
+  uint64_t estimateCalls = 0;
+  uint64_t schedBlockCalls = 0;
+  std::vector<CachedSchedule> schedInserts;
+};
+
+struct ModelCacheStats {
+  bool fileFound = false;     ///< a snapshot existed at the path
+  bool fileUsable = false;    ///< header + meta accepted (warm candidates)
+  uint64_t loadedRegions = 0; ///< records resolved and available to hit
+  uint64_t rejectedRecords = 0;
+  uint64_t diskHits = 0;
+  uint64_t diskMisses = 0;
+  uint64_t savedRegions = 0;  ///< regions in the last successful save
+  bool saved = false;
+};
+
+/// The persistent snapshot for one (module, params) pair. Thread-safe: the
+/// model serializes find/record behind its own persistent-cache mutex, but
+/// every public method also locks internally so stats and diagnostics can
+/// be read concurrently.
+class ModelCache {
+ public:
+  /// fnv1a64 over the printed module text.
+  static uint64_t irContentHash(const ir::Module& module);
+  /// Hash of every generation-shaping parameter (see file comment).
+  static uint64_t modelFingerprint(const ModelParams& params,
+                                   const hls::TechLibrary& tech,
+                                   const hls::InterfaceTiming& timing);
+  /// "model-<irHash>-<fingerprint>.cayc" (hex, zero-padded).
+  static std::string snapshotFileName(uint64_t irHash, uint64_t fingerprint);
+
+  /// The snapshot lives at `dir`/snapshotFileName(...). `wpst` (and the
+  /// module it analyzes) must outlive the cache.
+  ModelCache(const std::string& dir, const analysis::WPst& wpst,
+             uint64_t irHash, uint64_t fingerprint,
+             ModelCacheLimits limits = {});
+
+  const std::string& path() const { return path_; }
+
+  /// Loads and resolves the snapshot. Never throws and never fails the
+  /// pipeline: a missing file is a clean cold start, whole-file damage
+  /// (framing, version/hash skew) ignores the file with one diagnostic, and
+  /// per-record damage drops just that record. Returns the number of
+  /// regions available to hit.
+  uint64_t load();
+
+  /// Warm lookup; counts a disk hit or miss. The pointer stays valid for
+  /// the cache's lifetime.
+  const CachedRegion* find(const analysis::Region* region);
+
+  /// Records one region's cold generation for the next save(). Idempotent
+  /// per region.
+  void record(const analysis::Region* region,
+              const std::vector<AcceleratorConfig>& configs,
+              uint64_t estimateCalls, uint64_t schedBlockCalls,
+              std::vector<CachedSchedule> schedInserts);
+
+  /// True when record() added regions the on-disk snapshot lacks.
+  bool dirty() const;
+
+  /// Serializes every known region (loaded + recorded, sorted by region id
+  /// for deterministic bytes) and publishes atomically. No-op when clean.
+  /// Returns the number of bytes written (0 when skipped).
+  support::Expected<uint64_t> save();
+
+  ModelCacheStats stats() const;
+  /// Load/degradation diagnostics, capped to the first few per category.
+  std::vector<support::Diagnostic> diagnostics() const;
+
+ private:
+  support::Expected<CachedRegion> resolve(const RawRegionRecord& raw) const;
+  void noteDiagnostic(support::Diagnostic diagnostic);
+
+  std::string path_;
+  const analysis::WPst& wpst_;
+  uint64_t irHash_ = 0;
+  uint64_t fingerprint_ = 0;
+  ModelCacheLimits limits_;
+
+  mutable std::mutex mutex_;
+  /// Canonical raw records (loaded-and-valid plus newly recorded), the save
+  /// image. Keyed by region id, so saves are deterministic.
+  std::map<uint32_t, RawRegionRecord> rawByRegion_;
+  /// Resolved loaded records backing find(). Node-stable map.
+  std::map<uint32_t, CachedRegion> resolved_;
+  bool dirty_ = false;
+  ModelCacheStats stats_;
+  std::vector<support::Diagnostic> diagnostics_;
+};
+
+}  // namespace cayman::accel

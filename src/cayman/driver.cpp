@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/envhooks.h"
 #include "support/thread_pool.h"
 #include "support/trace.h"
 #include "workloads/workloads.h"
@@ -32,38 +33,6 @@ std::string formatLine(const char* format, ...) {
   return line;
 }
 
-/// Parses CAYMAN_INJECT_FAULT=<workload>:<stage> and returns the stage to
-/// inject after iff the entry names this workload. Malformed values are
-/// ignored (fault injection is a test hook, not user input validation).
-std::optional<support::Stage> envInjectedFault(const std::string& workload) {
-  const char* spec = std::getenv("CAYMAN_INJECT_FAULT");
-  if (spec == nullptr) return std::nullopt;
-  std::string value(spec);
-  size_t colon = value.rfind(':');
-  if (colon == std::string::npos) return std::nullopt;
-  if (value.substr(0, colon) != workload) return std::nullopt;
-  return support::stageByName(value.substr(colon + 1));
-}
-
-/// Parses CAYMAN_INJECT_SLOW=<workload>:generate:<microseconds> and returns
-/// the per-generate stall iff the entry names this workload. Same test-hook
-/// contract as CAYMAN_INJECT_FAULT: malformed values are ignored.
-unsigned envInjectedStallUs(const std::string& workload) {
-  const char* spec = std::getenv("CAYMAN_INJECT_SLOW");
-  if (spec == nullptr) return 0;
-  std::string value(spec);
-  size_t colon = value.rfind(':');
-  if (colon == std::string::npos) return 0;
-  unsigned micros = 0;
-  try {
-    micros = static_cast<unsigned>(std::stoul(value.substr(colon + 1)));
-  } catch (const std::exception&) {
-    return 0;
-  }
-  if (value.substr(0, colon) != workload + ":generate") return 0;
-  return micros;
-}
-
 }  // namespace
 
 WorkloadEvaluation evaluateWorkload(const std::string& name,
@@ -88,11 +57,31 @@ WorkloadEvaluation evaluateWorkload(const std::string& name,
   support::trace::TaskScope traceScope(info->name, traceIndex);
 
   FrameworkOptions taskOptions = options;
-  if (!taskOptions.failAfterStage.has_value()) {
-    taskOptions.failAfterStage = envInjectedFault(info->name);
-  }
-  if (taskOptions.injectGenerateStallUs == 0) {
-    taskOptions.injectGenerateStallUs = envInjectedStallUs(info->name);
+  // Strict env-hook parsing (envhooks.h): a malformed spec is a loud failed
+  // row, not a silently inert hook — the CLI additionally pre-validates and
+  // refuses to start the sweep.
+  {
+    support::Expected<std::optional<support::envhooks::FaultSpec>> fault =
+        support::envhooks::envInjectFault();
+    if (!fault.ok()) {
+      evaluation.failure = fault.diagnostic();
+      return evaluation;
+    }
+    if (!taskOptions.failAfterStage.has_value() &&
+        fault.value().has_value() && fault.value()->workload == info->name) {
+      taskOptions.failAfterStage = fault.value()->stage;
+    }
+    support::Expected<std::optional<support::envhooks::SlowSpec>> slow =
+        support::envhooks::envInjectSlow();
+    if (!slow.ok()) {
+      evaluation.failure = slow.diagnostic();
+      return evaluation;
+    }
+    if (taskOptions.injectGenerateStallUs == 0 && slow.value().has_value() &&
+        slow.value()->workload == info->name) {
+      taskOptions.injectGenerateStallUs =
+          static_cast<unsigned>(slow.value()->micros);
+    }
   }
   // Per-workload deadline: each task gets its own token so one slow workload
   // cannot consume a shared budget. The token lives on this frame, which
@@ -143,6 +132,15 @@ WorkloadEvaluation evaluateWorkload(const std::string& name,
       decision.numDecoupled = config.numDecoupled;
       decision.numScratchpad = config.numScratchpad;
       evaluation.decisions.push_back(std::move(decision));
+    }
+    // Publish newly generated regions for the next run. Only successful
+    // rows save: a failed row may hold a partially generated model whose
+    // counters never reached their deterministic emission points. Save
+    // failures degrade to diagnostics (stderr), never to a failed row.
+    if (framework.modelCache() != nullptr) {
+      (void)framework.saveModelCache();
+      evaluation.cacheStats = framework.modelCache()->stats();
+      evaluation.cacheDiagnostics = framework.modelCache()->diagnostics();
     }
   } catch (const support::DiagnosticError& e) {
     evaluation.failure = e.diagnostic();

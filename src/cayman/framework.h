@@ -52,6 +52,11 @@ struct FrameworkOptions {
   /// generation, so deadline tests can force a slow select stage. The driver
   /// also honours env CAYMAN_INJECT_SLOW=<workload>:generate:<us>.
   unsigned injectGenerateStallUs = 0;
+  /// Directory for the persistent model cache (empty disables it). When set,
+  /// a Cache stage after Profile loads the snapshot keyed by (IR content
+  /// hash, model fingerprint) and attaches it to the model; cache damage
+  /// never fails the pipeline — affected regions just regenerate cold.
+  std::string cacheDir;
 
   /// Per-workload wall-clock deadline in seconds (<= 0 disables). Policy
   /// knob only: the driver converts it into a CancelToken deadline; the
@@ -132,6 +137,16 @@ class Framework {
   const baselines::NoviaFlow& novia() const { return *novia_; }
   const baselines::QsCoresFlow& qscores() const { return *qscores_; }
 
+  /// The persistent model cache; nullptr when options.cacheDir is empty.
+  /// (The QsCores baseline runs its own model under different parameters
+  /// and always generates cold.)
+  const accel::ModelCache* modelCache() const { return modelCache_.get(); }
+  /// Publishes newly recorded regions atomically (temp file + rename).
+  /// No-op returning 0 when the cache is absent or clean; failures come
+  /// back as a Diagnostic (and are also queued on modelCache()->
+  /// diagnostics()) — never an exception.
+  support::Expected<uint64_t> saveModelCache();
+
  private:
   select::SelectorParams selectorParams(double budgetRatio) const;
 
@@ -142,6 +157,7 @@ class Framework {
   std::unique_ptr<sim::ProfileData> profile_;
   hls::TechLibrary tech_;
   std::unique_ptr<accel::AcceleratorModel> model_;
+  std::unique_ptr<accel::ModelCache> modelCache_;
   std::unique_ptr<baselines::NoviaFlow> novia_;
   std::unique_ptr<baselines::QsCoresFlow> qscores_;
 };

@@ -1,0 +1,64 @@
+// Strict parsing for the CAYMAN_INJECT_* test hooks.
+//
+// Three environment variables deliberately break the pipeline for fault-
+// isolation and recovery testing:
+//
+//   CAYMAN_INJECT_FAULT=<workload>:<stage>       throw after a stage
+//   CAYMAN_INJECT_SLOW=<workload>:generate:<us>  stall each generate() call
+//   CAYMAN_INJECT_CORRUPT=<mode>:<offset>        damage a cache publish
+//
+// They used to be hand-parsed with silent fallbacks; a typo meant the hook
+// quietly did nothing and the test passed vacuously. These parsers apply the
+// same full-consumption discipline as the CLI's parseLong/parseDouble: a
+// malformed spec is a loud, stage-attributed Diagnostic that callers turn
+// into a failed workload row (driver) or an exit-2 usage error (CLI).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "support/status.h"
+
+namespace cayman::support::envhooks {
+
+/// CAYMAN_INJECT_FAULT: fail `workload` right after `stage` completes.
+struct FaultSpec {
+  std::string workload;
+  Stage stage = Stage::Internal;
+};
+
+/// CAYMAN_INJECT_SLOW: stall every generate() call of `workload`.
+struct SlowSpec {
+  std::string workload;
+  uint64_t micros = 0;
+};
+
+/// How CAYMAN_INJECT_CORRUPT damages a blobio publish (see blobio.h).
+enum class CorruptMode {
+  Truncate,  ///< after rename, truncate the published file to <offset> bytes
+  Bitflip,   ///< after rename, flip one bit at byte <offset>
+  Torn,      ///< publish only the first <offset> bytes (lost unsynced tail)
+  Crash,     ///< write the temp file, then die before rename
+};
+
+struct CorruptSpec {
+  CorruptMode mode = CorruptMode::Truncate;
+  uint64_t offset = 0;
+};
+
+const char* corruptModeName(CorruptMode mode);
+
+// Spec parsers: exact segment counts, strict numerics, named stages/modes.
+// `text` is the raw variable value; the Diagnostic names the variable.
+Expected<FaultSpec> parseInjectFault(std::string_view text);
+Expected<SlowSpec> parseInjectSlow(std::string_view text);
+Expected<CorruptSpec> parseInjectCorrupt(std::string_view text);
+
+// getenv wrappers: unset (or empty) variable -> ok(nullopt); set but
+// malformed -> the parser's failed Expected.
+Expected<std::optional<FaultSpec>> envInjectFault();
+Expected<std::optional<SlowSpec>> envInjectSlow();
+Expected<std::optional<CorruptSpec>> envInjectCorrupt();
+
+}  // namespace cayman::support::envhooks

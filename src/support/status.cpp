@@ -10,6 +10,7 @@ const char* stageName(Stage stage) {
     case Stage::Verify: return "verify";
     case Stage::Analyze: return "analyze";
     case Stage::Profile: return "profile";
+    case Stage::Cache: return "cache";
     case Stage::Select: return "select";
     case Stage::Merge: return "merge";
     case Stage::Internal: return "internal";
@@ -19,8 +20,8 @@ const char* stageName(Stage stage) {
 
 std::optional<Stage> stageByName(std::string_view name) {
   for (Stage stage : {Stage::Parse, Stage::Verify, Stage::Analyze,
-                      Stage::Profile, Stage::Select, Stage::Merge,
-                      Stage::Internal}) {
+                      Stage::Profile, Stage::Cache, Stage::Select,
+                      Stage::Merge, Stage::Internal}) {
     if (name == stageName(stage)) return stage;
   }
   return std::nullopt;

@@ -1,7 +1,7 @@
 // Structured status reporting for the evaluation pipeline.
 //
 // A `Diagnostic` pins a failure to a pipeline stage (parse/verify/analyze/
-// profile/select/merge), the pipeline unit it happened in (workload or module
+// profile/cache/select/merge), the pipeline unit it happened in (workload or module
 // name), and — for ingestion stages — a 1-based line:col source position.
 // `DiagnosticError` carries one through the exception path so the driver can
 // turn it into a per-workload FAILED row instead of aborting a whole sweep;
@@ -25,6 +25,7 @@ enum class Stage {
   Verify,
   Analyze,
   Profile,
+  Cache,
   Select,
   Merge,
   Internal,

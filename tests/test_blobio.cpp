@@ -1,0 +1,360 @@
+// Tests for the blobio record-stream substrate: hashing, the bounded
+// byte codecs, tolerant stream parsing, and atomic publication (including
+// the CAYMAN_INJECT_CORRUPT crash-window hooks the recovery tests rely on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/blobio.h"
+
+namespace cayman::support::blobio {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Fresh per-test scratch directory under the system temp dir.
+class TempDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cayman_blobio_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    unsetenv("CAYMAN_INJECT_CORRUPT");
+    fs::remove_all(dir_);
+  }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+TEST(Crc32cTest, MatchesKnownVectors) {
+  // RFC 3720 test vector for CRC-32C.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0u);
+  // Any single bit flip must change the checksum.
+  std::string base(64, '\x5a');
+  uint32_t clean = crc32c(base);
+  for (size_t bit = 0; bit < base.size() * 8; bit += 37) {
+    std::string damaged = base;
+    damaged[bit / 8] = static_cast<char>(damaged[bit / 8] ^ (1u << (bit % 8)));
+    EXPECT_NE(crc32c(damaged), clean) << "bit " << bit;
+  }
+}
+
+TEST(Fnv1a64Test, MatchesKnownVectorsAndChains) {
+  EXPECT_EQ(fnv1a64(""), kFnvOffset);
+  // Standard FNV-1a 64 vector.
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  // Chaining hashes concatenation.
+  EXPECT_EQ(fnv1a64("world", fnv1a64("hello ")), fnv1a64("hello world"));
+  EXPECT_NE(fnv1a64("hello"), fnv1a64("hellp"));
+}
+
+TEST(ByteCodecTest, RoundTripsEveryPrimitive) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.f64bits(-1234.5);
+  w.str("payload");
+  w.str("");
+  std::string bytes = w.take();
+
+  ByteReader r(bytes);
+  uint8_t a = 0;
+  uint32_t b = 0;
+  uint64_t c = 0;
+  double d = 0;
+  std::string s1, s2;
+  ASSERT_TRUE(r.u8(a));
+  ASSERT_TRUE(r.u32(b));
+  ASSERT_TRUE(r.u64(c));
+  ASSERT_TRUE(r.f64bits(d));
+  ASSERT_TRUE(r.str(s1, 64));
+  ASSERT_TRUE(r.str(s2, 64));
+  EXPECT_EQ(a, 0xab);
+  EXPECT_EQ(b, 0xdeadbeefu);
+  EXPECT_EQ(c, 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(d, -1234.5);
+  EXPECT_EQ(s1, "payload");
+  EXPECT_EQ(s2, "");
+  EXPECT_TRUE(r.done());
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(ByteCodecTest, DoubleBitsSurviveNan) {
+  ByteWriter w;
+  w.f64bits(std::numeric_limits<double>::quiet_NaN());
+  ByteReader r(w.bytes());
+  double d = 0;
+  ASSERT_TRUE(r.f64bits(d));
+  EXPECT_TRUE(std::isnan(d));
+}
+
+TEST(ByteCodecTest, ReaderFailsStickyOnUnderflow) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.bytes());
+  uint64_t big = 0;
+  EXPECT_FALSE(r.u64(big));  // only 4 bytes available
+  EXPECT_TRUE(r.failed());
+  uint8_t small = 0;
+  EXPECT_FALSE(r.u8(small));  // sticky: even a fitting read now fails
+  EXPECT_FALSE(r.done());
+}
+
+TEST(ByteCodecTest, ReaderRejectsOversizedString) {
+  ByteWriter w;
+  w.str("0123456789");
+  ByteReader r(w.bytes());
+  std::string s;
+  EXPECT_FALSE(r.str(s, 9));  // cap below the declared length
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(StreamTest, BuildParseRoundTrip) {
+  std::vector<std::string> payloads = {"alpha", std::string("\0\x01\x02", 3),
+                                       "", "gamma"};
+  std::string bytes = buildStream(payloads);
+  Limits limits;
+  Expected<ParsedStream> parsed = parseStream(bytes, limits, "unit");
+  ASSERT_TRUE(parsed.ok()) << parsed.diagnostic().str();
+  EXPECT_EQ(parsed.value().version, kFormatVersion);
+  EXPECT_EQ(parsed.value().declaredCount, payloads.size());
+  EXPECT_EQ(parsed.value().records, payloads);
+  EXPECT_EQ(parsed.value().rejectedRecords, 0u);
+  EXPECT_FALSE(parsed.value().truncated);
+}
+
+TEST(StreamTest, EmptyStreamRoundTrips) {
+  std::string bytes = buildStream({});
+  Limits limits;
+  Expected<ParsedStream> parsed = parseStream(bytes, limits);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().records.empty());
+  EXPECT_FALSE(parsed.value().truncated);
+}
+
+TEST(StreamTest, BadMagicRejectsWholeStream) {
+  std::string bytes = buildStream({"x"});
+  bytes[0] = 'X';
+  Limits limits;
+  Expected<ParsedStream> parsed = parseStream(bytes, limits, "unit");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.diagnostic().stage, Stage::Cache);
+  EXPECT_NE(parsed.diagnostic().message.find("magic"), std::string::npos);
+}
+
+TEST(StreamTest, UnsupportedVersionRejectsWholeStream) {
+  std::string bytes = buildStream({"x"}, kFormatVersion + 1);
+  Limits limits;
+  EXPECT_FALSE(parseStream(bytes, limits).ok());
+}
+
+TEST(StreamTest, CorruptHeaderCrcRejectsWholeStream) {
+  std::string bytes = buildStream({"x"});
+  // Damage the record-count field; the header CRC must catch it.
+  bytes[9] = static_cast<char>(bytes[9] ^ 0x40);
+  Limits limits;
+  Expected<ParsedStream> parsed = parseStream(bytes, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.diagnostic().message.find("header"), std::string::npos);
+}
+
+TEST(StreamTest, ShortHeaderRejectsWholeStream) {
+  Limits limits;
+  EXPECT_FALSE(parseStream("CYMB", limits).ok());
+  EXPECT_FALSE(parseStream("", limits).ok());
+}
+
+TEST(StreamTest, CrcDamageSkipsOnlyThatRecord) {
+  std::string bytes = buildStream({"first", "second", "third"});
+  // Flip a payload byte of "second": header + record1 + prefix2, then 'd'.
+  size_t off = kHeaderBytes + kRecordPrefixBytes + 5 + kRecordPrefixBytes + 5;
+  ASSERT_EQ(bytes[off], 'd');
+  bytes[off] = static_cast<char>(bytes[off] ^ 0x01);
+  Limits limits;
+  Expected<ParsedStream> parsed = parseStream(bytes, limits);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().rejectedRecords, 1u);
+  EXPECT_EQ(parsed.value().records,
+            (std::vector<std::string>{"first", "third"}));
+  EXPECT_FALSE(parsed.value().truncated);
+}
+
+TEST(StreamTest, TruncationKeepsPrefixRecords) {
+  std::string bytes = buildStream({"first", "second"});
+  // Cut into the middle of the second record's payload.
+  std::string cut = bytes.substr(0, bytes.size() - 3);
+  Limits limits;
+  Expected<ParsedStream> parsed = parseStream(cut, limits);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().truncated);
+  EXPECT_EQ(parsed.value().records, (std::vector<std::string>{"first"}));
+}
+
+TEST(StreamTest, OversizedRecordLengthStopsAsTruncated) {
+  ByteWriter record;
+  Limits limits;
+  limits.maxRecordBytes = 16;
+  std::string big(64, 'z');
+  std::string bytes = buildStream({big});
+  Expected<ParsedStream> parsed = parseStream(bytes, limits);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().truncated);
+  EXPECT_TRUE(parsed.value().records.empty());
+}
+
+TEST(StreamTest, RecordCountCapRejectsWholeStream) {
+  Limits limits;
+  limits.maxRecords = 2;
+  std::string bytes = buildStream({"a", "b", "c"});
+  EXPECT_FALSE(parseStream(bytes, limits).ok());
+}
+
+TEST(StreamTest, TrailingGarbageReportsTruncatedFraming) {
+  std::string bytes = buildStream({"only"});
+  bytes += "garbage past the declared records";
+  Limits limits;
+  Expected<ParsedStream> parsed = parseStream(bytes, limits);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().truncated);
+  EXPECT_EQ(parsed.value().records, (std::vector<std::string>{"only"}));
+}
+
+using FileTest = TempDirTest;
+
+TEST_F(FileTest, ReadFileMissingIsNoSuchFile) {
+  Limits limits;
+  Expected<std::string> bytes = readFile(path("absent.cayc"), limits);
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.diagnostic().message.rfind("no such file", 0), 0u)
+      << bytes.diagnostic().message;
+  EXPECT_FALSE(fileExists(path("absent.cayc")));
+}
+
+TEST_F(FileTest, ReadFileHonoursSizeCap) {
+  std::string target = path("big.bin");
+  {
+    std::ofstream out(target, std::ios::binary);
+    out << std::string(128, 'x');
+  }
+  Limits limits;
+  limits.maxFileBytes = 64;
+  EXPECT_FALSE(readFile(target, limits).ok());
+  limits.maxFileBytes = 256;
+  Expected<std::string> bytes = readFile(target, limits);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value().size(), 128u);
+}
+
+TEST_F(FileTest, AtomicWritePublishesAndOverwrites) {
+  std::string target = path("snap.cayc");
+  Expected<uint64_t> first = writeFileAtomic(target, "version-one");
+  ASSERT_TRUE(first.ok()) << first.diagnostic().str();
+  EXPECT_EQ(first.value(), 11u);
+  EXPECT_EQ(slurp(target), "version-one");
+
+  Expected<uint64_t> second = writeFileAtomic(target, "v2");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(slurp(target), "v2");
+
+  // No temp droppings after a clean publish.
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST_F(FileTest, AtomicWriteToMissingDirectoryFails) {
+  Expected<uint64_t> result =
+      writeFileAtomic((dir_ / "nope" / "snap.cayc").string(), "bytes");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(FileTest, InjectTruncateDamagesPublishedFile) {
+  setenv("CAYMAN_INJECT_CORRUPT", "truncate:4", 1);
+  std::string target = path("snap.cayc");
+  Expected<uint64_t> result = writeFileAtomic(target, "0123456789");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(slurp(target), "0123");
+}
+
+TEST_F(FileTest, InjectBitflipDamagesPublishedFile) {
+  setenv("CAYMAN_INJECT_CORRUPT", "bitflip:2", 1);
+  std::string target = path("snap.cayc");
+  ASSERT_TRUE(writeFileAtomic(target, "abcdef").ok());
+  std::string got = slurp(target);
+  ASSERT_EQ(got.size(), 6u);
+  EXPECT_NE(got, "abcdef");
+  EXPECT_EQ(got[2], static_cast<char>('c' ^ 0x01));
+}
+
+TEST_F(FileTest, InjectTornPublishesPrefixOnly) {
+  setenv("CAYMAN_INJECT_CORRUPT", "torn:3", 1);
+  std::string target = path("snap.cayc");
+  ASSERT_TRUE(writeFileAtomic(target, "0123456789").ok());
+  EXPECT_EQ(slurp(target), "012");
+}
+
+TEST_F(FileTest, InjectCrashDiesBeforeRenameKeepingOldSnapshot) {
+  std::string target = path("snap.cayc");
+  ASSERT_TRUE(writeFileAtomic(target, "old-complete-snapshot").ok());
+
+  setenv("CAYMAN_INJECT_CORRUPT", "crash:0", 1);
+  Expected<uint64_t> crashed = writeFileAtomic(target, "new-bytes");
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_NE(crashed.diagnostic().message.find("crash"), std::string::npos);
+
+  // Crash window: old snapshot intact, temp file left behind.
+  EXPECT_EQ(slurp(target), "old-complete-snapshot");
+  bool sawTemp = false;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      sawTemp = true;
+      EXPECT_EQ(slurp(entry.path().string()), "new-bytes");
+    }
+  }
+  EXPECT_TRUE(sawTemp);
+
+  // Recovery: the next (uninjected) publish succeeds over the survivor.
+  unsetenv("CAYMAN_INJECT_CORRUPT");
+  ASSERT_TRUE(writeFileAtomic(target, "new-bytes").ok());
+  EXPECT_EQ(slurp(target), "new-bytes");
+}
+
+TEST_F(FileTest, MalformedInjectSpecFailsTheWriteLoudly) {
+  setenv("CAYMAN_INJECT_CORRUPT", "melt:12", 1);
+  Expected<uint64_t> result = writeFileAtomic(path("snap.cayc"), "bytes");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.diagnostic().message.find("invalid spec"),
+            std::string::npos);
+  EXPECT_FALSE(fileExists(path("snap.cayc")));
+}
+
+}  // namespace
+}  // namespace cayman::support::blobio

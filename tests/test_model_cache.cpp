@@ -1,0 +1,665 @@
+// Tests for the persistent model cache: the context-free raw record codecs
+// (the fuzzer's fixpoint invariant), the snapshot summary, the content
+// hashes, and the full record/save/load/find recovery cycle — including the
+// crash window between temp-file write and rename.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "accel/model.h"
+#include "accel/model_cache.h"
+#include "support/blobio.h"
+#include "test_kernels.h"
+
+namespace cayman::accel {
+namespace {
+
+namespace fs = std::filesystem;
+using support::Expected;
+using support::blobio::buildStream;
+using support::blobio::writeFileAtomic;
+
+struct Pipeline {
+  explicit Pipeline(std::unique_ptr<ir::Module> m, ModelParams params = {})
+      : module(std::move(m)),
+        wpst(*module),
+        interp(*module),
+        run(interp.run()),
+        profile(wpst, run, interp.costModel()),
+        tech(hls::TechLibrary::nangate45()),
+        model(wpst, profile, tech, hls::InterfaceTiming{}, params) {}
+
+  std::unique_ptr<ir::Module> module;
+  analysis::WPst wpst;
+  sim::Interpreter interp;
+  sim::Interpreter::Result run;
+  sim::ProfileData profile;
+  hls::TechLibrary tech;
+  AcceleratorModel model;
+};
+
+const analysis::Region* loopRegionByHeader(const analysis::WPst& wpst,
+                                           const char* header) {
+  for (const analysis::Region* r : wpst.allRegions()) {
+    if (r->kind() == analysis::RegionKind::Loop &&
+        r->block()->name() == header) {
+      return r;
+    }
+  }
+  return nullptr;
+}
+
+RawMeta sampleMeta() {
+  RawMeta meta;
+  meta.schema = kModelCacheSchema;
+  meta.irHash = 0x1122334455667788ull;
+  meta.fingerprint = 0x99aabbccddeeff00ull;
+  meta.moduleName = "sample";
+  return meta;
+}
+
+/// Full-featured record touching every field the codec serializes.
+RawRegionRecord sampleRecord() {
+  RawRegionRecord record;
+  record.regionId = 3;
+  record.label = "loop i [depth 1]";
+  record.estimateCalls = 12;
+  record.schedBlockCalls = 34;
+  RawConfig config;
+  config.loops.push_back(RawLoopConfig{3, 4, true});
+  config.loops.push_back(RawLoopConfig{5, 1, false});
+  RawIfaceEntry entry;
+  entry.blockIdx = 0;
+  entry.instIdx = 2;
+  entry.iface.kind = 2;
+  entry.iface.partitions = 4;
+  entry.iface.hasArray = true;
+  entry.iface.arrayName = "A";
+  entry.iface.footprintBytes = 512;
+  entry.iface.promoted = true;
+  config.ifaces.push_back(entry);
+  config.cyclesBits = 0x4059000000000000ull;
+  config.cpuCyclesBits = 0x40c3880000000000ull;
+  config.areaBits = 0x40fd4c0000000000ull;
+  config.numSeqBlocks = 1;
+  config.numPipelinedRegions = 1;
+  config.numCoupled = 2;
+  config.numDecoupled = 1;
+  config.numScratchpad = 1;
+  record.configs.push_back(config);
+  RawSchedInsert sched;
+  sched.funcIdx = 0;
+  sched.blockIdx = 1;
+  sched.width = 4;
+  RawIface sig;
+  sig.kind = 0;
+  sig.partitions = 1;
+  sched.signature.push_back(sig);
+  sched.latency = 9;
+  sched.opAreaBits = 0x40a0000000000000ull;
+  sched.regAreaBits = 0x4090000000000000ull;
+  sched.numOps = 6;
+  sched.starts.push_back(RawSchedStart{0, 0});
+  sched.starts.push_back(RawSchedStart{2, 3});
+  record.schedInserts.push_back(sched);
+  return record;
+}
+
+TEST(RawCodecTest, MetaRoundTripsToFixpoint) {
+  RawMeta meta = sampleMeta();
+  std::string payload = encodeMeta(meta);
+  ModelCacheLimits limits;
+  Expected<RawMeta> decoded = decodeMeta(payload, limits);
+  ASSERT_TRUE(decoded.ok()) << decoded.diagnostic().str();
+  EXPECT_EQ(decoded.value().schema, meta.schema);
+  EXPECT_EQ(decoded.value().irHash, meta.irHash);
+  EXPECT_EQ(decoded.value().fingerprint, meta.fingerprint);
+  EXPECT_EQ(decoded.value().moduleName, meta.moduleName);
+  EXPECT_EQ(encodeMeta(decoded.value()), payload);
+}
+
+TEST(RawCodecTest, RegionRecordRoundTripsToFixpoint) {
+  RawRegionRecord record = sampleRecord();
+  std::string payload = encodeRegionRecord(record);
+  ModelCacheLimits limits;
+  Expected<RawRegionRecord> decoded = decodeRegionRecord(payload, limits);
+  ASSERT_TRUE(decoded.ok()) << decoded.diagnostic().str();
+  const RawRegionRecord& d = decoded.value();
+  EXPECT_EQ(d.regionId, record.regionId);
+  EXPECT_EQ(d.label, record.label);
+  EXPECT_EQ(d.estimateCalls, record.estimateCalls);
+  EXPECT_EQ(d.schedBlockCalls, record.schedBlockCalls);
+  ASSERT_EQ(d.configs.size(), 1u);
+  EXPECT_EQ(d.configs[0].loops.size(), 2u);
+  EXPECT_EQ(d.configs[0].ifaces.size(), 1u);
+  EXPECT_EQ(d.configs[0].ifaces[0].iface.arrayName, "A");
+  ASSERT_EQ(d.schedInserts.size(), 1u);
+  EXPECT_EQ(d.schedInserts[0].starts.size(), 2u);
+  EXPECT_EQ(encodeRegionRecord(d), payload);
+}
+
+TEST(RawCodecTest, DecodeRejectsCrossedTags) {
+  ModelCacheLimits limits;
+  EXPECT_FALSE(decodeMeta(encodeRegionRecord(sampleRecord()), limits).ok());
+  EXPECT_FALSE(decodeRegionRecord(encodeMeta(sampleMeta()), limits).ok());
+  EXPECT_FALSE(decodeMeta("", limits).ok());
+  EXPECT_FALSE(decodeRegionRecord("", limits).ok());
+}
+
+TEST(RawCodecTest, DecodeRejectsTrailingBytes) {
+  ModelCacheLimits limits;
+  std::string meta = encodeMeta(sampleMeta()) + "x";
+  EXPECT_FALSE(decodeMeta(meta, limits).ok());
+  std::string record = encodeRegionRecord(sampleRecord()) + "x";
+  Expected<RawRegionRecord> decoded = decodeRegionRecord(record, limits);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.diagnostic().message.find("trailing bytes"),
+            std::string::npos);
+}
+
+TEST(RawCodecTest, DecodeRejectsTruncatedPayload) {
+  ModelCacheLimits limits;
+  std::string payload = encodeRegionRecord(sampleRecord());
+  for (size_t keep : {size_t{1}, size_t{5}, payload.size() / 2,
+                      payload.size() - 1}) {
+    EXPECT_FALSE(decodeRegionRecord(payload.substr(0, keep), limits).ok())
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(RawCodecTest, DecodeRejectsZeroConfigs) {
+  RawRegionRecord record = sampleRecord();
+  record.configs.clear();
+  record.schedInserts.clear();
+  ModelCacheLimits limits;
+  Expected<RawRegionRecord> decoded =
+      decodeRegionRecord(encodeRegionRecord(record), limits);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.diagnostic().message.find("config count"),
+            std::string::npos);
+}
+
+TEST(RawCodecTest, DecodeRejectsImplausibleCounterDelta) {
+  ModelCacheLimits limits;
+  RawRegionRecord record = sampleRecord();
+  record.estimateCalls = limits.maxCounterDelta + 1;
+  EXPECT_FALSE(decodeRegionRecord(encodeRegionRecord(record), limits).ok());
+  record = sampleRecord();
+  record.schedBlockCalls = limits.maxCounterDelta + 1;
+  EXPECT_FALSE(decodeRegionRecord(encodeRegionRecord(record), limits).ok());
+}
+
+TEST(RawCodecTest, DecodeRejectsOutOfRangeEnumsAndBools) {
+  ModelCacheLimits limits;
+  // Encode accepts whatever the structs hold; decode must reject it.
+  RawRegionRecord record = sampleRecord();
+  record.configs[0].ifaces[0].iface.kind = 3;
+  EXPECT_FALSE(decodeRegionRecord(encodeRegionRecord(record), limits).ok());
+  record = sampleRecord();
+  record.configs[0].ifaces[0].iface.partitions = 0;
+  EXPECT_FALSE(decodeRegionRecord(encodeRegionRecord(record), limits).ok());
+  record = sampleRecord();
+  record.configs[0].loops[0].unroll = 0;
+  EXPECT_FALSE(decodeRegionRecord(encodeRegionRecord(record), limits).ok());
+  // A bool byte of 2 would break the re-encode fixpoint; rejected.
+  std::string payload = encodeRegionRecord(sampleRecord());
+  // The pipelined flag of the first loop sits right after tag + id +
+  // label(str) + two u64 counters + config count + loop count + 2×u32.
+  size_t boolAt = 1 + 4 + (4 + sampleRecord().label.size()) + 8 + 8 + 4 + 4 +
+                  4 + 4;
+  ASSERT_EQ(payload[boolAt], 1);  // pipelined=true in the sample
+  payload[boolAt] = 2;
+  EXPECT_FALSE(decodeRegionRecord(payload, limits).ok());
+}
+
+TEST(RawCodecTest, DecodeHonoursCountCaps) {
+  ModelCacheLimits limits;
+  limits.maxLoopsPerConfig = 1;
+  RawRegionRecord record = sampleRecord();  // has 2 loops
+  Expected<RawRegionRecord> decoded =
+      decodeRegionRecord(encodeRegionRecord(record), limits);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.diagnostic().message.find("loop count"),
+            std::string::npos);
+}
+
+TEST(SnapshotSummaryTest, SummarizesCleanStream) {
+  RawRegionRecord second = sampleRecord();
+  second.regionId = 7;
+  std::string bytes =
+      buildStream({encodeMeta(sampleMeta()), encodeRegionRecord(sampleRecord()),
+                   encodeRegionRecord(second)});
+  ModelCacheLimits limits;
+  Expected<SnapshotSummary> summary = summarizeSnapshot(bytes, limits);
+  ASSERT_TRUE(summary.ok()) << summary.diagnostic().str();
+  EXPECT_EQ(summary.value().regionRecords, 2u);
+  EXPECT_EQ(summary.value().configs, 2u);
+  EXPECT_EQ(summary.value().schedInserts, 2u);
+  EXPECT_EQ(summary.value().rejectedRecords, 0u);
+  EXPECT_FALSE(summary.value().truncated);
+  EXPECT_EQ(summary.value().meta.moduleName, "sample");
+}
+
+TEST(SnapshotSummaryTest, RejectsMissingMetaAndSchemaSkew) {
+  ModelCacheLimits limits;
+  EXPECT_FALSE(summarizeSnapshot(buildStream({}), limits).ok());
+  EXPECT_FALSE(
+      summarizeSnapshot(buildStream({encodeRegionRecord(sampleRecord())}),
+                        limits)
+          .ok());
+  RawMeta skewed = sampleMeta();
+  skewed.schema = kModelCacheSchema + 1;
+  EXPECT_FALSE(
+      summarizeSnapshot(buildStream({encodeMeta(skewed)}), limits).ok());
+}
+
+TEST(SnapshotSummaryTest, CountsDuplicateAndMalformedRecords) {
+  std::string malformed = encodeRegionRecord(sampleRecord()) + "x";
+  std::string bytes = buildStream(
+      {encodeMeta(sampleMeta()), encodeRegionRecord(sampleRecord()),
+       encodeRegionRecord(sampleRecord()), malformed});
+  ModelCacheLimits limits;
+  Expected<SnapshotSummary> summary = summarizeSnapshot(bytes, limits);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value().regionRecords, 1u);
+  EXPECT_EQ(summary.value().rejectedRecords, 2u);
+  ASSERT_TRUE(summary.value().firstReject.has_value());
+  EXPECT_NE(summary.value().firstReject->message.find("duplicate"),
+            std::string::npos);
+}
+
+TEST(HashTest, IrContentHashPinsTheModule) {
+  Pipeline a(testing::linearKernel());
+  Pipeline b(testing::linearKernel());
+  Pipeline c(testing::linearKernel(128));
+  EXPECT_EQ(ModelCache::irContentHash(*a.module),
+            ModelCache::irContentHash(*b.module));
+  EXPECT_NE(ModelCache::irContentHash(*a.module),
+            ModelCache::irContentHash(*c.module));
+}
+
+TEST(HashTest, FingerprintTracksEveryParameterFamily) {
+  hls::TechLibrary tech = hls::TechLibrary::nangate45();
+  hls::InterfaceTiming timing;
+  ModelParams params;
+  uint64_t base = ModelCache::modelFingerprint(params, tech, timing);
+  EXPECT_EQ(ModelCache::modelFingerprint(params, tech, timing), base);
+
+  ModelParams beta = params;
+  beta.beta += 0.125;
+  EXPECT_NE(ModelCache::modelFingerprint(beta, tech, timing), base);
+
+  hls::TechLibrary bigger = tech;
+  bigger.lsuArea += 1.0;
+  EXPECT_NE(ModelCache::modelFingerprint(params, bigger, timing), base);
+
+  hls::InterfaceTiming slower = timing;
+  slower.decoupledLatency += 1;
+  EXPECT_NE(ModelCache::modelFingerprint(params, tech, slower), base);
+}
+
+TEST(HashTest, SnapshotFileNameIsZeroPaddedHex) {
+  EXPECT_EQ(ModelCache::snapshotFileName(0x1, 0xab),
+            "model-0000000000000001-00000000000000ab.cayc");
+}
+
+/// Fresh per-test scratch directory; clears the inject hook on teardown.
+class ModelCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cayman_mcache_" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    unsetenv("CAYMAN_INJECT_CORRUPT");
+    fs::remove_all(dir_);
+  }
+
+  std::string dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+void expectSameConfigs(const std::vector<AcceleratorConfig>& warm,
+                       const std::vector<AcceleratorConfig>& cold) {
+  ASSERT_EQ(warm.size(), cold.size());
+  for (size_t i = 0; i < warm.size(); ++i) {
+    const AcceleratorConfig& w = warm[i];
+    const AcceleratorConfig& c = cold[i];
+    // Estimates must survive the disk bit-exactly.
+    EXPECT_EQ(w.cycles, c.cycles);
+    EXPECT_EQ(w.cpuCycles, c.cpuCycles);
+    EXPECT_EQ(w.areaUm2, c.areaUm2);
+    EXPECT_EQ(w.numSeqBlocks, c.numSeqBlocks);
+    EXPECT_EQ(w.numPipelinedRegions, c.numPipelinedRegions);
+    EXPECT_EQ(w.numCoupled, c.numCoupled);
+    EXPECT_EQ(w.numDecoupled, c.numDecoupled);
+    EXPECT_EQ(w.numScratchpad, c.numScratchpad);
+    ASSERT_EQ(w.loops.size(), c.loops.size());
+    for (size_t j = 0; j < w.loops.size(); ++j) {
+      EXPECT_EQ(w.loops[j].unroll, c.loops[j].unroll);
+      EXPECT_EQ(w.loops[j].pipelined, c.loops[j].pipelined);
+    }
+    EXPECT_EQ(w.ifaces.size(), c.ifaces.size());
+  }
+}
+
+TEST_F(ModelCacheTest, RecordSaveLoadFindRoundTrips) {
+  Pipeline p(testing::linearKernel());
+  const analysis::Region* loop = loopRegionByHeader(p.wpst, "i.header");
+  ASSERT_NE(loop, nullptr);
+  std::vector<AcceleratorConfig> cold = p.model.generate(loop);
+  ASSERT_FALSE(cold.empty());
+
+  uint64_t irHash = ModelCache::irContentHash(*p.module);
+  uint64_t fp = ModelCache::modelFingerprint(p.model.params(), p.tech,
+                                             p.model.timing());
+
+  ModelCache writer(dir(), p.wpst, irHash, fp);
+  EXPECT_EQ(writer.load(), 0u);  // missing file: clean cold start
+  EXPECT_FALSE(writer.stats().fileFound);
+  EXPECT_TRUE(writer.diagnostics().empty());
+
+  writer.record(loop, cold, 3, 5, {});
+  EXPECT_TRUE(writer.dirty());
+  Expected<uint64_t> written = writer.save();
+  ASSERT_TRUE(written.ok()) << written.diagnostic().str();
+  EXPECT_GT(written.value(), 0u);
+  EXPECT_FALSE(writer.dirty());
+  EXPECT_TRUE(writer.stats().saved);
+  EXPECT_EQ(writer.stats().savedRegions, 1u);
+
+  ModelCache reader(dir(), p.wpst, irHash, fp);
+  EXPECT_EQ(reader.load(), 1u);
+  EXPECT_TRUE(reader.stats().fileFound);
+  EXPECT_TRUE(reader.stats().fileUsable);
+
+  const CachedRegion* hit = reader.find(loop);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->region, loop);
+  EXPECT_EQ(hit->estimateCalls, 3u);
+  EXPECT_EQ(hit->schedBlockCalls, 5u);
+  expectSameConfigs(hit->configs, cold);
+
+  // A region the snapshot lacks is a disk miss.
+  const analysis::Region* other = nullptr;
+  for (const analysis::Region* r : p.wpst.allRegions()) {
+    if (r != loop) {
+      other = r;
+      break;
+    }
+  }
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(reader.find(other), nullptr);
+  EXPECT_EQ(reader.stats().diskHits, 1u);
+  EXPECT_EQ(reader.stats().diskMisses, 1u);
+}
+
+TEST_F(ModelCacheTest, SaveIsNoOpWhenCleanAndRecordIsIdempotent) {
+  Pipeline p(testing::linearKernel());
+  const analysis::Region* loop = loopRegionByHeader(p.wpst, "i.header");
+  std::vector<AcceleratorConfig> cold = p.model.generate(loop);
+  uint64_t irHash = ModelCache::irContentHash(*p.module);
+  uint64_t fp = ModelCache::modelFingerprint(p.model.params(), p.tech,
+                                             p.model.timing());
+
+  ModelCache cache(dir(), p.wpst, irHash, fp);
+  Expected<uint64_t> clean = cache.save();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value(), 0u);
+  EXPECT_FALSE(support::blobio::fileExists(cache.path()));
+
+  cache.record(loop, cold, 1, 1, {});
+  cache.record(loop, cold, 99, 99, {});  // second record is a no-op
+  ASSERT_TRUE(cache.save().ok());
+
+  ModelCache reader(dir(), p.wpst, irHash, fp);
+  EXPECT_EQ(reader.load(), 1u);
+  const CachedRegion* hit = reader.find(loop);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->estimateCalls, 1u);
+}
+
+TEST_F(ModelCacheTest, IrHashSkewStartsCold) {
+  Pipeline p(testing::linearKernel());
+  uint64_t irHash = ModelCache::irContentHash(*p.module);
+  uint64_t fp = ModelCache::modelFingerprint(p.model.params(), p.tech,
+                                             p.model.timing());
+  ModelCache cache(dir(), p.wpst, irHash, fp);
+
+  RawMeta meta = sampleMeta();
+  meta.irHash = irHash + 1;  // same file name, different content hash
+  meta.fingerprint = fp;
+  ASSERT_TRUE(writeFileAtomic(cache.path(),
+                              buildStream({encodeMeta(meta)}))
+                  .ok());
+  EXPECT_EQ(cache.load(), 0u);
+  EXPECT_TRUE(cache.stats().fileFound);
+  EXPECT_FALSE(cache.stats().fileUsable);
+  ASSERT_EQ(cache.diagnostics().size(), 1u);
+  EXPECT_NE(cache.diagnostics()[0].message.find("IR content hash mismatch"),
+            std::string::npos);
+  EXPECT_EQ(cache.diagnostics()[0].stage, support::Stage::Cache);
+}
+
+TEST_F(ModelCacheTest, FingerprintAndSchemaSkewStartCold) {
+  Pipeline p(testing::linearKernel());
+  uint64_t irHash = ModelCache::irContentHash(*p.module);
+  uint64_t fp = ModelCache::modelFingerprint(p.model.params(), p.tech,
+                                             p.model.timing());
+  {
+    ModelCache cache(dir(), p.wpst, irHash, fp);
+    RawMeta meta = sampleMeta();
+    meta.irHash = irHash;
+    meta.fingerprint = fp + 1;
+    ASSERT_TRUE(
+        writeFileAtomic(cache.path(), buildStream({encodeMeta(meta)})).ok());
+    EXPECT_EQ(cache.load(), 0u);
+    EXPECT_FALSE(cache.stats().fileUsable);
+    ASSERT_FALSE(cache.diagnostics().empty());
+    EXPECT_NE(cache.diagnostics()[0].message.find("fingerprint mismatch"),
+              std::string::npos);
+  }
+  {
+    ModelCache cache(dir(), p.wpst, irHash, fp);
+    RawMeta meta = sampleMeta();
+    meta.schema = kModelCacheSchema + 1;
+    meta.irHash = irHash;
+    meta.fingerprint = fp;
+    ASSERT_TRUE(
+        writeFileAtomic(cache.path(), buildStream({encodeMeta(meta)})).ok());
+    EXPECT_EQ(cache.load(), 0u);
+    ASSERT_FALSE(cache.diagnostics().empty());
+    EXPECT_NE(cache.diagnostics()[0].message.find("schema version skew"),
+              std::string::npos);
+  }
+}
+
+TEST_F(ModelCacheTest, ResolveRejectsLabelMismatchAndDuplicates) {
+  Pipeline p(testing::linearKernel());
+  const analysis::Region* loop = loopRegionByHeader(p.wpst, "i.header");
+  ASSERT_NE(loop, nullptr);
+  uint64_t irHash = ModelCache::irContentHash(*p.module);
+  uint64_t fp = ModelCache::modelFingerprint(p.model.params(), p.tech,
+                                             p.model.timing());
+  ModelCache cache(dir(), p.wpst, irHash, fp);
+
+  RawMeta meta = sampleMeta();
+  meta.irHash = irHash;
+  meta.fingerprint = fp;
+  meta.moduleName = p.module->name();
+
+  RawRegionRecord good;
+  good.regionId = static_cast<uint32_t>(loop->id());
+  good.label = loop->label();
+  RawConfig config;
+  config.cyclesBits = 0x4059000000000000ull;
+  config.cpuCyclesBits = 0x4059000000000000ull;
+  config.areaBits = 0x4059000000000000ull;
+  good.configs.push_back(config);
+
+  RawRegionRecord mislabeled = good;
+  mislabeled.label = "not the real label";
+
+  // Stream: meta, mislabeled (rejected: label), good, good again (rejected:
+  // duplicate id).
+  ASSERT_TRUE(writeFileAtomic(
+                  cache.path(),
+                  buildStream({encodeMeta(meta),
+                               encodeRegionRecord(mislabeled)}))
+                  .ok());
+  EXPECT_EQ(cache.load(), 0u);
+  EXPECT_TRUE(cache.stats().fileUsable);
+  EXPECT_EQ(cache.stats().rejectedRecords, 1u);
+  ASSERT_FALSE(cache.diagnostics().empty());
+  EXPECT_NE(cache.diagnostics()[0].message.find("label mismatch"),
+            std::string::npos);
+
+  ModelCache second(dir(), p.wpst, irHash, fp);
+  ASSERT_TRUE(writeFileAtomic(
+                  second.path(),
+                  buildStream({encodeMeta(meta), encodeRegionRecord(good),
+                               encodeRegionRecord(good)}))
+                  .ok());
+  EXPECT_EQ(second.load(), 1u);
+  EXPECT_EQ(second.stats().rejectedRecords, 1u);
+  EXPECT_NE(second.find(loop), nullptr);
+}
+
+TEST_F(ModelCacheTest, PerRecordDamageDegradesOnlyThatRegion) {
+  Pipeline p(testing::dotRowsKernel());
+  const analysis::Region* loopI = loopRegionByHeader(p.wpst, "i.header");
+  const analysis::Region* loopJ = loopRegionByHeader(p.wpst, "j.header");
+  ASSERT_NE(loopI, nullptr);
+  ASSERT_NE(loopJ, nullptr);
+  uint64_t irHash = ModelCache::irContentHash(*p.module);
+  uint64_t fp = ModelCache::modelFingerprint(p.model.params(), p.tech,
+                                             p.model.timing());
+
+  ModelCache writer(dir(), p.wpst, irHash, fp);
+  writer.record(loopI, p.model.generate(loopI), 1, 1, {});
+  writer.record(loopJ, p.model.generate(loopJ), 1, 1, {});
+  ASSERT_TRUE(writer.save().ok());
+
+  // Flip the last byte: it lands in the last record's payload, so its CRC
+  // rejects it while the rest of the snapshot stays warm.
+  std::string path = writer.path();
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  ModelCache reader(dir(), p.wpst, irHash, fp);
+  EXPECT_EQ(reader.load(), 1u);
+  EXPECT_TRUE(reader.stats().fileUsable);
+  EXPECT_EQ(reader.stats().rejectedRecords, 1u);
+  ASSERT_FALSE(reader.diagnostics().empty());
+  EXPECT_NE(reader.diagnostics()[0].message.find("checksum"),
+            std::string::npos);
+  // Exactly one of the two regions survived.
+  bool iWarm = reader.find(loopI) != nullptr;
+  bool jWarm = reader.find(loopJ) != nullptr;
+  EXPECT_NE(iWarm, jWarm);
+}
+
+TEST_F(ModelCacheTest, CrashWindowKeepsOldSnapshotUsable) {
+  Pipeline p(testing::dotRowsKernel());
+  const analysis::Region* loopI = loopRegionByHeader(p.wpst, "i.header");
+  const analysis::Region* loopJ = loopRegionByHeader(p.wpst, "j.header");
+  ASSERT_NE(loopI, nullptr);
+  ASSERT_NE(loopJ, nullptr);
+  uint64_t irHash = ModelCache::irContentHash(*p.module);
+  uint64_t fp = ModelCache::modelFingerprint(p.model.params(), p.tech,
+                                             p.model.timing());
+
+  // First generation publishes a one-region snapshot.
+  ModelCache first(dir(), p.wpst, irHash, fp);
+  first.record(loopI, p.model.generate(loopI), 1, 1, {});
+  ASSERT_TRUE(first.save().ok());
+
+  // Second process warms from it, learns a new region, then dies between
+  // temp-file write and rename.
+  ModelCache second(dir(), p.wpst, irHash, fp);
+  EXPECT_EQ(second.load(), 1u);
+  second.record(loopJ, p.model.generate(loopJ), 1, 1, {});
+  setenv("CAYMAN_INJECT_CORRUPT", "crash:0", 1);
+  Expected<uint64_t> crashed = second.save();
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_NE(crashed.diagnostic().message.find("crash"), std::string::npos);
+  unsetenv("CAYMAN_INJECT_CORRUPT");
+
+  // Crash window: the temp file is the only debris; the published snapshot
+  // still carries the old region and a fresh process warms from it.
+  bool sawTemp = false;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      sawTemp = true;
+    }
+  }
+  EXPECT_TRUE(sawTemp);
+  ModelCache survivor(dir(), p.wpst, irHash, fp);
+  EXPECT_EQ(survivor.load(), 1u);
+  EXPECT_NE(survivor.find(loopI), nullptr);
+  EXPECT_EQ(survivor.find(loopJ), nullptr);
+
+  // Recovery: the crashed writer retries and publishes both regions.
+  ASSERT_TRUE(second.save().ok());
+  ModelCache recovered(dir(), p.wpst, irHash, fp);
+  EXPECT_EQ(recovered.load(), 2u);
+  EXPECT_NE(recovered.find(loopI), nullptr);
+  EXPECT_NE(recovered.find(loopJ), nullptr);
+}
+
+TEST_F(ModelCacheTest, ModelReplaysWarmConfigsIdentically) {
+  // Cold model generates and records through its attached cache.
+  Pipeline cold(testing::linearKernel());
+  const analysis::Region* coldLoop = loopRegionByHeader(cold.wpst, "i.header");
+  ASSERT_NE(coldLoop, nullptr);
+  ASSERT_TRUE(coldLoop->isCandidate());
+  ASSERT_GT(cold.profile.cycles(coldLoop), 0.0);
+  uint64_t irHash = ModelCache::irContentHash(*cold.module);
+  uint64_t fp = ModelCache::modelFingerprint(cold.model.params(), cold.tech,
+                                             cold.model.timing());
+  ModelCache coldCache(dir(), cold.wpst, irHash, fp);
+  coldCache.load();
+  cold.model.attachPersistentCache(&coldCache);
+  std::vector<AcceleratorConfig> coldConfigs = cold.model.generate(coldLoop);
+  ASSERT_FALSE(coldConfigs.empty());
+  EXPECT_EQ(coldCache.stats().diskMisses, 1u);
+  ASSERT_TRUE(coldCache.save().ok());
+
+  // A fresh pipeline (fresh pointers, same program) replays from disk.
+  Pipeline warm(testing::linearKernel());
+  const analysis::Region* warmLoop = loopRegionByHeader(warm.wpst, "i.header");
+  ASSERT_NE(warmLoop, nullptr);
+  EXPECT_EQ(ModelCache::irContentHash(*warm.module), irHash);
+  ModelCache warmCache(dir(), warm.wpst, irHash, fp);
+  EXPECT_GE(warmCache.load(), 1u);
+  warm.model.attachPersistentCache(&warmCache);
+  std::vector<AcceleratorConfig> warmConfigs = warm.model.generate(warmLoop);
+  EXPECT_GE(warmCache.stats().diskHits, 1u);
+  expectSameConfigs(warmConfigs, coldConfigs);
+  // Every config resolves against the warm pipeline's own region objects.
+  for (const AcceleratorConfig& config : warmConfigs) {
+    EXPECT_EQ(config.region, warmLoop);
+  }
+}
+
+}  // namespace
+}  // namespace cayman::accel

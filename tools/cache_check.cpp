@@ -1,0 +1,75 @@
+// cache_check: standalone validator for Cayman model-cache snapshots
+// (support/blobio.h framing + accel/model_cache.h payloads).
+//
+//   cache_check <snapshot.cayc> [more...]
+//
+// For each file it reports the stream header, the meta record, and per-record
+// structural health — the same context-free checks ModelCache::load performs
+// before resolving against a live wPST (which a standalone tool cannot do).
+//
+// Exit codes (CI contract):
+//   0  every file is clean (all records decode, none rejected, not truncated)
+//   1  at least one file is degraded: usable meta, but truncated or with
+//      rejected records — a warm run would recover the survivors
+//   2  usage error, unreadable file, or an unusable snapshot (bad magic or
+//      header, unsupported version, missing/mismatched meta record)
+#include <cstdio>
+#include <string>
+
+#include "accel/model_cache.h"
+#include "support/blobio.h"
+
+using namespace cayman;
+
+namespace {
+
+/// Per-file verdicts, ordered by severity (max wins across files).
+enum Verdict { kClean = 0, kDegraded = 1, kUnusable = 2 };
+
+Verdict checkFile(const std::string& path) {
+  accel::ModelCacheLimits limits;
+  support::Expected<std::string> bytes =
+      support::blobio::readFile(path, limits.stream);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "%s: unreadable: %s\n", path.c_str(),
+                 bytes.diagnostic().message.c_str());
+    return kUnusable;
+  }
+  support::Expected<accel::SnapshotSummary> summary =
+      accel::summarizeSnapshot(bytes.value(), limits, path);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s: unusable: %s\n", path.c_str(),
+                 summary.diagnostic().message.c_str());
+    return kUnusable;
+  }
+  const accel::SnapshotSummary& s = summary.value();
+  std::printf("%s: stream v%u schema %u module '%s' regions %llu "
+              "(configs %llu, sched %llu) rejected %llu%s\n",
+              path.c_str(), s.streamVersion, s.meta.schema,
+              s.meta.moduleName.c_str(),
+              static_cast<unsigned long long>(s.regionRecords),
+              static_cast<unsigned long long>(s.configs),
+              static_cast<unsigned long long>(s.schedInserts),
+              static_cast<unsigned long long>(s.rejectedRecords),
+              s.truncated ? " TRUNCATED" : "");
+  if (s.firstReject.has_value()) {
+    std::fprintf(stderr, "%s: first reject: %s\n", path.c_str(),
+                 s.firstReject->message.c_str());
+  }
+  return s.rejectedRecords > 0 || s.truncated ? kDegraded : kClean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: cache_check <snapshot.cayc> [more...]\n");
+    return 2;
+  }
+  int worst = kClean;
+  for (int i = 1; i < argc; ++i) {
+    int verdict = checkFile(argv[i]);
+    if (verdict > worst) worst = verdict;
+  }
+  return worst;
+}
