@@ -5,7 +5,9 @@
 #include <cmath>
 #include <set>
 #include <thread>
+#include <utility>
 
+#include "support/thread_pool.h"
 #include "support/trace.h"
 
 namespace cayman::accel {
@@ -13,6 +15,54 @@ namespace cayman::accel {
 using analysis::Loop;
 using analysis::Region;
 using analysis::RegionKind;
+
+namespace {
+
+/// Process-wide count (and high-water mark) of generateUncached bodies in
+/// flight, across all models: the injected-stall overlap tests read the peak
+/// to prove distinct regions/workloads really generated concurrently, and
+/// wall-mode metrics export it as the model.cold_inflight_peak gauge.
+std::atomic<int64_t> g_coldInflight{0};
+std::atomic<int64_t> g_coldInflightPeak{0};
+
+struct ColdInflightScope {
+  ColdInflightScope() {
+    int64_t now = g_coldInflight.fetch_add(1, std::memory_order_relaxed) + 1;
+    int64_t peak = g_coldInflightPeak.load(std::memory_order_relaxed);
+    while (now > peak && !g_coldInflightPeak.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    support::trace::gaugeMax("model.cold_inflight_peak", now);
+  }
+  ~ColdInflightScope() {
+    g_coldInflight.fetch_sub(1, std::memory_order_relaxed);
+  }
+};
+
+/// While a region generates cold under the persistent cache, its schedule-
+/// cache insertions are logged here for the region's record. Thread-local:
+/// one region's generation runs entirely on one thread, so concurrent cold
+/// regions log independently without sharing a guarded model-wide log.
+thread_local std::vector<CachedSchedule>* t_schedInsertLog = nullptr;
+
+struct SchedLogScope {
+  std::vector<CachedSchedule>* previous;
+  explicit SchedLogScope(std::vector<CachedSchedule>* log)
+      : previous(t_schedInsertLog) {
+    t_schedInsertLog = log;
+  }
+  ~SchedLogScope() { t_schedInsertLog = previous; }
+};
+
+}  // namespace
+
+int64_t coldGenerationInflightPeak() {
+  return g_coldInflightPeak.load(std::memory_order_relaxed);
+}
+
+void resetColdGenerationInflightPeak() {
+  g_coldInflightPeak.store(0, std::memory_order_relaxed);
+}
 
 AcceleratorModel::AcceleratorModel(const analysis::WPst& wpst,
                                    const sim::ProfileData& profile,
@@ -198,125 +248,278 @@ hls::IfaceAssignment AcceleratorModel::assignInterfaces(
   return assignment;
 }
 
-const std::vector<AcceleratorConfig>& AcceleratorModel::generate(
+AcceleratorModel::GenerateShard& AcceleratorModel::shardFor(
     const Region* region) const {
-  {
-    std::lock_guard<std::mutex> lock(generateCacheMutex_);
-    auto it = generateCache_.find(region);
-    if (it != generateCache_.end()) {
-      support::trace::count("model.cache_hits", 1);
-      return it->second;
-    }
-  }
-  support::trace::count("model.cache_misses", 1);
-  // Only regions the cold path fully generates for are disk-cacheable: the
-  // early returns in generateUncached (non-candidate, never-executed) emit
-  // no counters, so replaying a stored record for them would produce metrics
-  // a cold run never writes.
-  if (persistentCache_ != nullptr && region->isCandidate() &&
-      profile_.cycles(region) > 0.0) {
-    return generatePersistent(region);
-  }
-  // Compute outside the lock: generateUncached is a pure function of the
-  // region, so two threads racing here produce identical lists and the
-  // loser's copy is simply discarded by try_emplace.
-  std::vector<AcceleratorConfig> configs = generateUncached(region);
-  std::lock_guard<std::mutex> lock(generateCacheMutex_);
-  return generateCache_.try_emplace(region, std::move(configs)).first->second;
+  size_t h = std::hash<const Region*>{}(region);
+  h ^= h >> 9;  // pointers are aligned; fold the live bits into the index
+  return generateShards_[h % kGenerateShards];
 }
 
-const std::vector<AcceleratorConfig>& AcceleratorModel::generatePersistent(
-    const Region* region) const {
-  std::lock_guard<std::mutex> plock(persistentMutex_);
-  {
-    // Re-check under persistentMutex_: a racing caller may have finished
-    // this region while we waited.
-    std::lock_guard<std::mutex> lock(generateCacheMutex_);
-    auto it = generateCache_.find(region);
-    if (it != generateCache_.end()) return it->second;
-  }
+AcceleratorModel::SchedStripe& AcceleratorModel::stripeFor(
+    const ir::BasicBlock* block) const {
+  size_t h = std::hash<const ir::BasicBlock*>{}(block);
+  h ^= h >> 9;
+  return schedStripes_[h % kSchedStripes];
+}
 
-  if (const CachedRegion* hit = persistentCache_->find(region)) {
-    // Replay the cold generation's observable side effects. The schedule
-    // cache gains this region's insertions now, at hit time, so interleaved
-    // warm and cold regions see exactly the cache states they saw when the
-    // snapshot was recorded — later cold regions' hit/miss counts (and so
-    // sched.block_calls) stay byte-identical.
-    {
-      std::lock_guard<std::mutex> lock(schedCacheMutex_);
-      for (const CachedSchedule& sched : hit->schedInserts) {
-        std::vector<SchedCacheEntry>& entries =
-            schedCache_[std::make_pair(sched.block, sched.width)];
-        bool present = false;
-        for (const SchedCacheEntry& entry : entries) {
-          if (entry.signature == sched.signature) {
-            present = true;
-            break;
-          }
-        }
-        if (!present) {
-          entries.push_back(SchedCacheEntry{sched.signature, sched.schedule});
-        }
+AcceleratorModel::Claim AcceleratorModel::claimEntry(const Region* region,
+                                                     bool wait) const {
+  GenerateShard& shard = shardFor(region);
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  while (true) {
+    auto [it, inserted] = shard.entries.try_emplace(region);
+    if (inserted) return Claim{&it->second, ClaimKind::Claimed};
+    if (it->second.done) return Claim{&it->second, ClaimKind::Hit};
+    if (!wait) return Claim{nullptr, ClaimKind::Running};
+    // The latch owner finalizes (or abandons, on failure) under this mutex
+    // and notifies; spurious wakeups just re-run the lookup.
+    shard.ready.wait(lock);
+  }
+}
+
+const std::vector<AcceleratorConfig>& AcceleratorModel::finalizeEntry(
+    const Region* region, GenerateEntry* entry,
+    std::vector<AcceleratorConfig> configs) const {
+  GenerateShard& shard = shardFor(region);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  entry->configs = std::move(configs);
+  entry->done = true;
+  shard.ready.notify_all();
+  return entry->configs;
+}
+
+void AcceleratorModel::abandonEntry(const Region* region) const {
+  GenerateShard& shard = shardFor(region);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.entries.erase(region);
+  shard.ready.notify_all();
+}
+
+void AcceleratorModel::replayDiskHit(const CachedRegion& hit) const {
+  // Replay the cold generation's observable side effects. The schedule cache
+  // gains this region's insertions now, at hit time, so interleaved warm and
+  // cold regions see exactly the cache states they saw when the snapshot was
+  // recorded — later cold regions' hit/miss counts (and so sched.block_calls)
+  // stay byte-identical.
+  for (const CachedSchedule& sched : hit.schedInserts) {
+    SchedStripe& stripe = stripeFor(sched.block);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    SchedBucket& bucket =
+        stripe.buckets
+            .try_emplace(std::make_pair(sched.block, sched.width),
+                         SigLess{&sigComparisons_})
+            .first->second;
+    bucket.try_emplace(sched.signature, sched.schedule);
+  }
+  // Counter deltas mirror the cold emission discipline: estimate and
+  // schedule counts appear only when nonzero (cold emits one count per
+  // call), candidates_total unconditionally (cold emits it once per full
+  // generateUncached).
+  if (hit.estimateCalls > 0) {
+    estimateCalls_.fetch_add(hit.estimateCalls, std::memory_order_relaxed);
+    support::trace::count("model.estimate_calls", hit.estimateCalls);
+  }
+  scheduler_.creditBlockCalls(hit.schedBlockCalls);
+  candidatesTotal_.fetch_add(hit.configs.size(), std::memory_order_relaxed);
+  support::trace::count("model.candidates_total", hit.configs.size());
+}
+
+const std::vector<AcceleratorConfig>& AcceleratorModel::generateCold(
+    const Region* region, GenerateEntry* entry) const {
+  try {
+    if (diskEligible(region)) {
+      if (const CachedRegion* hit = persistentCache_->find(region)) {
+        replayDiskHit(*hit);
+        return finalizeEntry(region, entry,
+                             std::vector<AcceleratorConfig>(hit->configs));
+      }
+      // Disk miss: generate cold under a thread-local counter capture and
+      // schedule-insert log, then replay the captured counts into the
+      // ambient scope — same totals as counting directly, but the recorded
+      // deltas belong to this region alone even while other regions
+      // generate concurrently on sibling threads.
+      std::vector<AcceleratorConfig> configs;
+      std::vector<CachedSchedule> log;
+      std::vector<std::pair<std::string, uint64_t>> counters;
+      uint64_t estimates = 0;
+      uint64_t blocks = 0;
+      {
+        support::trace::CounterCapture capture;
+        SchedLogScope logScope(&log);
+        configs = generateUncached(region);
+        estimates = capture.value("model.estimate_calls");
+        blocks = capture.value("sched.block_calls");
+        counters = capture.take();
+      }
+      for (const auto& [name, delta] : counters) {
+        support::trace::count(name, delta);
+      }
+      persistentCache_->record(region, configs, estimates, blocks,
+                               std::move(log));
+      return finalizeEntry(region, entry, std::move(configs));
+    }
+    return finalizeEntry(region, entry, generateUncached(region));
+  } catch (...) {
+    // Cancellation (or any failure) mid-generation: erase the latch so
+    // waiters re-claim and retry instead of blocking on a corpse.
+    abandonEntry(region);
+    throw;
+  }
+}
+
+const std::vector<AcceleratorConfig>& AcceleratorModel::generate(
+    const Region* region) const {
+  Claim claim = claimEntry(region, /*wait=*/true);
+  if (claim.kind == ClaimKind::Hit) {
+    support::trace::count("model.cache_hits", 1);
+    return claim.entry->configs;
+  }
+  // We own the cold generation; everyone who arrives before finalizeEntry
+  // waits on the shard latch and then counts a hit — the hit/miss totals
+  // match a serial run at any concurrency.
+  support::trace::count("model.cache_misses", 1);
+  return generateCold(region, claim.entry);
+}
+
+std::vector<const std::vector<AcceleratorConfig>*>
+AcceleratorModel::generateAll(const std::vector<const Region*>& regions) const {
+  std::vector<const std::vector<AcceleratorConfig>*> lists(regions.size(),
+                                                           nullptr);
+  // A cold region this call claimed: generation state shuttled between the
+  // phases below.
+  struct ColdJob {
+    size_t slot = 0;
+    GenerateEntry* entry = nullptr;
+    bool record = false;  ///< disk-eligible: record the capture for save()
+    std::vector<AcceleratorConfig> configs;
+    std::vector<CachedSchedule> log;
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    uint64_t estimates = 0;
+    uint64_t blocks = 0;
+  };
+  std::vector<ColdJob> cold;
+  std::vector<size_t> deferred;  ///< slots another thread is generating
+
+  // Phase A — serial, input order: resolve in-memory hits and disk-hit
+  // replays, claim cold regions, and emit every hit/miss count exactly where
+  // a serial generate() loop would. Disk-hit replay must stay serial and
+  // ordered so the schedule cache evolves exactly as the recorded cold run's
+  // traversal did.
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const Region* region = regions[i];
+    Claim claim = claimEntry(region, /*wait=*/false);
+    if (claim.kind == ClaimKind::Hit) {
+      support::trace::count("model.cache_hits", 1);
+      lists[i] = &claim.entry->configs;
+      continue;
+    }
+    if (claim.kind == ClaimKind::Running) {
+      // Another thread's claim is the miss; our observation is a hit. Block
+      // for the result only in phase D, after every region we claimed is
+      // finalized or abandoned — never while holding claims, so concurrent
+      // generateAll calls cannot form a claim-wait cycle.
+      support::trace::count("model.cache_hits", 1);
+      deferred.push_back(i);
+      continue;
+    }
+    support::trace::count("model.cache_misses", 1);
+    bool eligible = diskEligible(region);
+    if (eligible) {
+      const CachedRegion* hit = nullptr;
+      try {
+        hit = persistentCache_->find(region);
+        if (hit != nullptr) replayDiskHit(*hit);
+      } catch (...) {
+        abandonEntry(region);
+        for (const ColdJob& job : cold) abandonEntry(regions[job.slot]);
+        throw;
+      }
+      if (hit != nullptr) {
+        lists[i] = &finalizeEntry(
+            region, claim.entry, std::vector<AcceleratorConfig>(hit->configs));
+        continue;
       }
     }
-    // Counter deltas mirror the cold emission discipline: estimate and
-    // schedule counts appear only when nonzero (cold emits one count per
-    // call), candidates_total unconditionally (cold emits it once per full
-    // generateUncached).
-    if (hit->estimateCalls > 0) {
-      estimateCalls_.fetch_add(hit->estimateCalls, std::memory_order_relaxed);
-      support::trace::count("model.estimate_calls", hit->estimateCalls);
-    }
-    scheduler_.creditBlockCalls(hit->schedBlockCalls);
-    candidatesTotal_.fetch_add(hit->configs.size(), std::memory_order_relaxed);
-    support::trace::count("model.candidates_total", hit->configs.size());
-    std::lock_guard<std::mutex> lock(generateCacheMutex_);
-    return generateCache_.try_emplace(region, hit->configs).first->second;
+    ColdJob job;
+    job.slot = i;
+    job.entry = claim.entry;
+    job.record = eligible;
+    cold.push_back(job);
   }
 
-  // Disk miss: generate cold, capturing the side effects the snapshot must
-  // replay. Counter deltas are per-model reads around the call — correct
-  // because persistentMutex_ keeps this the only cold generation in flight.
-  uint64_t estimateBefore = estimateCalls_.load(std::memory_order_relaxed);
-  uint64_t blocksBefore = scheduler_.blockCalls();
-  // Local RAII guard (a local class has the enclosing function's access):
-  // cancellation can throw out of generateUncached mid-region, and the log
-  // must deactivate either way.
-  struct LogGuard {
-    const AcceleratorModel& model;
-    explicit LogGuard(const AcceleratorModel& model) : model(model) {
-      std::lock_guard<std::mutex> lock(model.schedCacheMutex_);
-      model.schedInsertLog_.clear();
-      model.schedLogActive_ = true;
+  if (!cold.empty()) {
+    // Phase B — cold generation, fanned out on the pool when one is
+    // configured. Each job runs under a thread-local CounterCapture and
+    // schedule-insert log, so nothing schedule-dependent escapes into the
+    // ambient trace scope; with no pool (or one job) the loop below runs the
+    // jobs inline in input order, which also keeps persistent-cache record
+    // attribution deterministic for the serial byte-compare scenarios.
+    auto runJob = [&](ColdJob& job) {
+      support::trace::CounterCapture capture;
+      SchedLogScope logScope(&job.log);
+      job.configs = generateUncached(regions[job.slot]);
+      job.estimates = capture.value("model.estimate_calls");
+      job.blocks = capture.value("sched.block_calls");
+      job.counters = capture.take();
+    };
+    try {
+      if (params_.pool != nullptr && cold.size() > 1) {
+        TaskGroup group(*params_.pool);
+        for (ColdJob& job : cold) {
+          group.run([&runJob, &job] { runJob(job); });
+        }
+        group.wait();  // rethrows the lowest-input-index failure
+      } else {
+        for (ColdJob& job : cold) runJob(job);
+      }
+    } catch (...) {
+      // Abandon every claimed entry — completed jobs' counters were never
+      // replayed, so finalizing them would desynchronize totals if a caller
+      // retried after cancellation. Waiters re-claim and regenerate.
+      for (const ColdJob& job : cold) abandonEntry(regions[job.slot]);
+      throw;
     }
-    ~LogGuard() {
-      std::lock_guard<std::mutex> lock(model.schedCacheMutex_);
-      model.schedLogActive_ = false;
-      model.schedInsertLog_.clear();
-    }
-    std::vector<CachedSchedule> take() {
-      std::lock_guard<std::mutex> lock(model.schedCacheMutex_);
-      model.schedLogActive_ = false;
-      return std::move(model.schedInsertLog_);
-    }
-  } guard(*this);
 
-  std::vector<AcceleratorConfig> configs = generateUncached(region);
-  persistentCache_->record(
-      region, configs,
-      estimateCalls_.load(std::memory_order_relaxed) - estimateBefore,
-      scheduler_.blockCalls() - blocksBefore, guard.take());
-  std::lock_guard<std::mutex> lock(generateCacheMutex_);
-  return generateCache_.try_emplace(region, std::move(configs)).first->second;
+    // Phase C — serial, input order: replay each job's captured counters
+    // into the ambient scope (a sorted map, so per-task records accumulate
+    // identically to direct counting), record disk-cacheable regions, and
+    // open the latches.
+    for (ColdJob& job : cold) {
+      for (const auto& [name, delta] : job.counters) {
+        support::trace::count(name, delta);
+      }
+      if (job.record) {
+        persistentCache_->record(regions[job.slot], job.configs, job.estimates,
+                                 job.blocks, std::move(job.log));
+      }
+      lists[job.slot] =
+          &finalizeEntry(regions[job.slot], job.entry, std::move(job.configs));
+    }
+  }
+
+  // Phase D — resolve regions other threads were generating. No claims are
+  // held here, so blocking is deadlock-free; if the owner abandoned (its
+  // generation failed), generate locally — the hit was already counted in
+  // phase A, and this path only exists after a concurrent failure, where
+  // byte-identity is moot.
+  for (size_t slot : deferred) {
+    Claim claim = claimEntry(regions[slot], /*wait=*/true);
+    lists[slot] = claim.kind == ClaimKind::Hit
+                      ? &claim.entry->configs
+                      : &generateCold(regions[slot], claim.entry);
+  }
+  return lists;
 }
 
 void AcceleratorModel::warmGenerateCache() const {
-  wpst_.root()->walk([this](const Region& region) {
+  std::vector<const Region*> regions;
+  wpst_.root()->walk([&](const Region& region) {
     if (params_.cancel != nullptr) {
       params_.cancel->check(support::Stage::Select, region.label());
     }
-    generate(&region);
+    regions.push_back(&region);
   });
+  generateAll(regions);
 }
 
 const analysis::RooflineAnalysis& AcceleratorModel::roofline() const {
@@ -331,6 +534,7 @@ const analysis::RooflineAnalysis& AcceleratorModel::roofline() const {
 
 std::vector<AcceleratorConfig> AcceleratorModel::generateUncached(
     const Region* region) const {
+  ColdInflightScope inflight;
   if (params_.injectGenerateStallUs > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(params_.injectGenerateStallUs));
@@ -609,21 +813,25 @@ hls::BlockSchedule AcceleratorModel::scheduleBlockCached(
     signature.push_back(iface);
   }
   const auto key = std::make_pair(&block, unroll);
-  // The lock spans the miss-path scheduling so concurrent selector runs
+  // The stripe lock spans the miss-path scheduling so concurrent callers
   // cannot double-schedule one tuple: the sched.block_calls total must be
   // deterministic across --jobs counts (the metrics exporter's byte-identity
   // contract), and scheduleBlock is cheap enough that contention is noise.
-  std::lock_guard<std::mutex> lock(schedCacheMutex_);
-  std::vector<SchedCacheEntry>& entries = schedCache_[key];
-  for (const SchedCacheEntry& entry : entries) {
-    if (entry.signature == signature) return entry.schedule;
-  }
+  // Striping by block keeps concurrent cold generations of distinct regions
+  // off each other's locks, and the sorted bucket turns the old O(entries)
+  // signature scan into O(log entries) comparisons.
+  SchedStripe& stripe = stripeFor(&block);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  SchedBucket& bucket =
+      stripe.buckets.try_emplace(key, SigLess{&sigComparisons_})
+          .first->second;
+  auto it = bucket.find(signature);
+  if (it != bucket.end()) return it->second;
   hls::BlockSchedule schedule = scheduler_.scheduleBlock(block, ifaces, unroll);
-  entries.push_back(SchedCacheEntry{std::move(signature), schedule});
-  if (schedLogActive_) {
-    const SchedCacheEntry& inserted = entries.back();
-    schedInsertLog_.push_back(
-        CachedSchedule{&block, unroll, inserted.signature, inserted.schedule});
+  auto inserted = bucket.emplace(std::move(signature), schedule).first;
+  if (t_schedInsertLog != nullptr) {
+    t_schedInsertLog->push_back(
+        CachedSchedule{&block, unroll, inserted->first, inserted->second});
   }
   return schedule;
 }

@@ -4,7 +4,11 @@
 // configuration's cycle count and area without synthesizing full hardware.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -15,6 +19,10 @@
 #include "hls/scheduler.h"
 #include "sim/profiler.h"
 #include "support/cancellation.h"
+
+namespace cayman {
+class ThreadPool;
+}
 
 namespace cayman::accel {
 
@@ -59,6 +67,13 @@ struct ModelParams {
   /// Test hook: microseconds slept per generateUncached() call (deadline
   /// tests force slowness here the way CAYMAN_INJECT_FAULT forces failures).
   unsigned injectGenerateStallUs = 0;
+  /// Worker pool for generateAll()'s region-level fan-out: cold generations
+  /// of distinct regions run concurrently on it. Not owned; nullptr keeps
+  /// generateAll serial. Scheduling only — results, counters, and traces are
+  /// byte-identical at any worker count. Deliberately NOT part of the
+  /// persistent-cache model fingerprint (modelFingerprint hashes only the
+  /// result-affecting fields).
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-function analysis bundle the model consumes.
@@ -93,8 +108,25 @@ class AcceleratorModel {
   const std::vector<AcceleratorConfig>& generate(
       const analysis::Region* region) const;
 
+  /// Batch generate(): one entry per input region, in input order (the
+  /// pointed-to lists stay valid for the model's lifetime, exactly like
+  /// generate()'s return). When params().pool is set, cold generations of
+  /// distinct regions run concurrently on it; warm hits, disk-hit replay,
+  /// and all counter emission stay serial in input order, so the observable
+  /// counter/trace stream is byte-identical to calling generate() on each
+  /// region in sequence — at any worker count, warm or cold.
+  ///
+  /// Deadlock-free under concurrent calls: a generateAll never *blocks* on a
+  /// region another thread is generating until it has finalized (or
+  /// abandoned) every region it claimed itself, so claim-wait cycles cannot
+  /// form.
+  std::vector<const std::vector<AcceleratorConfig>*> generateAll(
+      const std::vector<const analysis::Region*>& regions) const;
+
   /// Eagerly fills the generate cache for every candidate region of the
-  /// wPST, so later concurrent explore() calls are pure cache reads.
+  /// wPST (through generateAll, so params().pool parallelizes the cold
+  /// generations), leaving later concurrent explore() calls pure cache
+  /// reads.
   void warmGenerateCache() const;
 
   /// Re-estimates (cycles, area, counters) for a fully-specified config.
@@ -127,6 +159,14 @@ class AcceleratorModel {
   /// scheduleBlock() invocations made on this model's scheduler.
   uint64_t scheduleBlockCalls() const { return scheduler_.blockCalls(); }
 
+  /// Signature comparisons performed by the guided schedule cache's ordered
+  /// lookups. Regression measure for the cache's container: the old
+  /// linear-scan buckets cost O(entries) comparisons per lookup, the sorted
+  /// map costs O(log entries) — tests pin the gap.
+  uint64_t schedSignatureComparisons() const {
+    return sigComparisons_.load(std::memory_order_relaxed);
+  }
+
   /// Attaches a persistent snapshot (not owned; must outlive the model, or
   /// be detached with nullptr first). generate() then consults it behind the
   /// in-memory cache: a disk hit replays the cold generation's observable
@@ -146,11 +186,6 @@ class AcceleratorModel {
   };
 
   std::vector<AcceleratorConfig> generateUncached(
-      const analysis::Region* region) const;
-  /// Disk-backed slow path for cacheable regions (in-memory miss with a
-  /// persistent cache attached): replay a disk hit, or generate cold while
-  /// capturing the side effects to record.
-  const std::vector<AcceleratorConfig>& generatePersistent(
       const analysis::Region* region) const;
   std::vector<AcceleratorConfig> generateReference(
       const analysis::Region* region) const;
@@ -200,39 +235,114 @@ class AcceleratorModel {
   mutable std::mutex rooflineMutex_;
   mutable std::unique_ptr<analysis::RooflineAnalysis> roofline_;
 
-  /// Guided-mode schedule memoization: per (block, width), the interface
-  /// signatures (AccessIface per memory access in program order) already
-  /// scheduled and their results.
-  struct SchedCacheEntry {
-    std::vector<hls::AccessIface> signature;
-    hls::BlockSchedule schedule;
+  // --- Guided-mode schedule memoization ------------------------------------
+  //
+  // Striped by block pointer so concurrent cold generations of distinct
+  // regions rarely contend, and each (block, width) bucket is a sorted map
+  // keyed by the interface signature (AccessIface per memory access in
+  // program order) — O(log n) signature comparisons per lookup where the old
+  // linear bucket scan paid O(n).
+
+  /// Signature order for the sorted buckets: lexicographic over AccessIface
+  /// operator<. Stateful so every comparison is counted (the container-
+  /// complexity regression measure behind schedSignatureComparisons()).
+  struct SigLess {
+    std::atomic<uint64_t>* comparisons = nullptr;
+    bool operator()(const std::vector<hls::AccessIface>& a,
+                    const std::vector<hls::AccessIface>& b) const {
+      comparisons->fetch_add(1, std::memory_order_relaxed);
+      return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                          b.end());
+    }
   };
-  mutable std::mutex schedCacheMutex_;
-  mutable std::map<std::pair<const ir::BasicBlock*, unsigned>,
-                   std::vector<SchedCacheEntry>>
-      schedCache_;
-  /// While a region generates cold under the persistent cache, its schedule
-  /// -cache insertions are logged here so the snapshot can replay them at
-  /// hit time in the same order. Both guarded by schedCacheMutex_.
-  mutable std::vector<CachedSchedule> schedInsertLog_;
-  mutable bool schedLogActive_ = false;
+  using SchedBucket =
+      std::map<std::vector<hls::AccessIface>, hls::BlockSchedule, SigLess>;
+  struct SchedStripe {
+    std::mutex mutex;
+    std::map<std::pair<const ir::BasicBlock*, unsigned>, SchedBucket> buckets;
+  };
+  static constexpr size_t kSchedStripes = 16;
+  SchedStripe& stripeFor(const ir::BasicBlock* block) const;
+  mutable std::array<SchedStripe, kSchedStripes> schedStripes_;
+  mutable std::atomic<uint64_t> sigComparisons_{0};
 
-  /// Optional persistent snapshot (not owned). persistentMutex_ serializes
-  /// cold generations under it so a captured counter delta belongs to one
-  /// region alone. The framework path is effectively single-threaded here
-  /// (warmGenerateCache runs before concurrent explore), so the lock is
-  /// correctness insurance for direct concurrent generate() callers, not a
-  /// bottleneck.
-  mutable std::mutex persistentMutex_;
+  // --- generate() memoization ----------------------------------------------
+  //
+  // Sharded latch cache: each region's entry is claimed exactly once (the
+  // claimer runs the cold path; it alone counts the miss) and every other
+  // caller either returns the finished list (counting a hit) or waits on the
+  // shard's condition variable until the claimer finalizes. Distinct regions
+  // on distinct shards generate fully concurrently — there is no global
+  // model lock left, and the persistent cache (internally synchronized) is
+  // consulted without one.
+  //
+  // Entry references are stable: unordered_map rehash moves buckets, not
+  // nodes, so finished lists are handed out by reference while other regions
+  // are still being inserted.
+
+  struct GenerateEntry {
+    bool done = false;  ///< false = cold generation in flight (latch closed)
+    std::vector<AcceleratorConfig> configs;
+  };
+  struct GenerateShard {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::unordered_map<const analysis::Region*, GenerateEntry> entries;
+  };
+  static constexpr size_t kGenerateShards = 16;
+  enum class ClaimKind {
+    Hit,      ///< entry finished: configs are readable, a cache hit
+    Claimed,  ///< we inserted the entry: we own the cold generation
+    Running,  ///< another thread owns it (only when wait == false)
+  };
+  struct Claim {
+    GenerateEntry* entry = nullptr;
+    ClaimKind kind = ClaimKind::Hit;
+  };
+  GenerateShard& shardFor(const analysis::Region* region) const;
+  /// Claim `region`'s entry or resolve it as a hit. With wait == true blocks
+  /// until an in-flight generation finishes (never returns Running); with
+  /// wait == false returns Running instead (generateAll's deadlock-free
+  /// deferral).
+  Claim claimEntry(const analysis::Region* region, bool wait) const;
+  /// Publishes a claimed entry's configs and opens the latch. Returns the
+  /// now-stable cached list.
+  const std::vector<AcceleratorConfig>& finalizeEntry(
+      const analysis::Region* region, GenerateEntry* entry,
+      std::vector<AcceleratorConfig> configs) const;
+  /// Erases a claimed entry after a failed generation (cancellation) so
+  /// waiters re-claim and retry instead of reading a corpse.
+  void abandonEntry(const analysis::Region* region) const;
+  /// Cold path for one claimed region: disk-hit replay or capture-generate-
+  /// record, then finalize (abandon on throw). Does not count hit/miss —
+  /// callers already did, in deterministic order.
+  const std::vector<AcceleratorConfig>& generateCold(
+      const analysis::Region* region, GenerateEntry* entry) const;
+  /// Replays a disk hit's observable side effects (schedule-cache inserts,
+  /// counter deltas) exactly as the recorded cold run emitted them.
+  void replayDiskHit(const CachedRegion& hit) const;
+  /// Regions whose cold generation is disk-cacheable (the generateUncached
+  /// early-outs emit no counters, so only fully-generated regions record).
+  bool diskEligible(const analysis::Region* region) const {
+    return persistentCache_ != nullptr && region->isCandidate() &&
+           profile_.cycles(region) > 0.0;
+  }
+  mutable std::array<GenerateShard, kGenerateShards> generateShards_;
+
+  /// Optional persistent snapshot (not owned). Internally synchronized, so
+  /// concurrent cold generations consult and record without a model-level
+  /// lock; per-region counter deltas come from thread-local CounterCaptures
+  /// instead of global before/after reads.
   ModelCache* persistentCache_ = nullptr;
-
-  /// generate() memoization. unordered_map node references survive rehashes,
-  /// so cached lists can be handed out by reference while other regions are
-  /// still being inserted. Guarded for concurrent selector runs.
-  mutable std::mutex generateCacheMutex_;
-  mutable std::unordered_map<const analysis::Region*,
-                             std::vector<AcceleratorConfig>>
-      generateCache_;
 };
+
+/// Process-wide high-water mark of concurrently running cold candidate
+/// generations (generateUncached bodies, all models). Exported as the
+/// model.cold_inflight_peak gauge in wall-clock trace mode; tests read it
+/// directly to prove cold generations actually overlapped.
+int64_t coldGenerationInflightPeak();
+/// Resets the peak (tests only; the gauge in an already-attached trace
+/// recorder keeps its high-water mark).
+void resetColdGenerationInflightPeak();
 
 }  // namespace cayman::accel

@@ -1,5 +1,6 @@
 #include "cayman/driver.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -71,16 +72,20 @@ WorkloadEvaluation evaluateWorkload(const std::string& name,
         fault.value().has_value() && fault.value()->workload == info->name) {
       taskOptions.failAfterStage = fault.value()->stage;
     }
-    support::Expected<std::optional<support::envhooks::SlowSpec>> slow =
+    support::Expected<std::vector<support::envhooks::SlowSpec>> slow =
         support::envhooks::envInjectSlow();
     if (!slow.ok()) {
       evaluation.failure = slow.diagnostic();
       return evaluation;
     }
-    if (taskOptions.injectGenerateStallUs == 0 && slow.value().has_value() &&
-        slow.value()->workload == info->name) {
-      taskOptions.injectGenerateStallUs =
-          static_cast<unsigned>(slow.value()->micros);
+    if (taskOptions.injectGenerateStallUs == 0) {
+      for (const support::envhooks::SlowSpec& spec : slow.value()) {
+        if (spec.workload == info->name) {
+          taskOptions.injectGenerateStallUs =
+              static_cast<unsigned>(spec.micros);
+          break;
+        }
+      }
     }
   }
   // Per-workload deadline: each task gets its own token so one slow workload
@@ -157,10 +162,35 @@ std::vector<WorkloadEvaluation> evaluateWorkloads(
     const std::vector<std::string>& names, double budgetRatio, unsigned jobs,
     const FrameworkOptions& options) {
   if (jobs == 0) jobs = ThreadPool::defaultWorkers();
-  ThreadPool pool(jobs);
-  return parallelIndexMap(pool, names.size(), [&](size_t i) {
-    return evaluateWorkload(names[i], budgetRatio, options, i);
-  });
+  // One process-wide pool reused across invocations (driver sweeps, benches)
+  // instead of a construct/join cycle per call; grow-only, so a jobs=1 call
+  // after a jobs=N call still yields byte-identical output — only the
+  // schedule differs.
+  ThreadPool& pool = ThreadPool::shared();
+  pool.ensureWorkers(jobs);
+  FrameworkOptions taskOptions = options;
+  if (taskOptions.pool == nullptr) taskOptions.pool = &pool;
+  // LPT (longest-processing-time-first) list scheduling: submit the
+  // heaviest workloads first so the cjpeg/3mm-class tails start early
+  // instead of landing last on an otherwise-drained pool. Submission order
+  // only — output stays in `names` order, exceptions still surface
+  // lowest-index-first.
+  std::vector<size_t> submitOrder(names.size());
+  for (size_t i = 0; i < submitOrder.size(); ++i) submitOrder[i] = i;
+  std::vector<double> hints(names.size(), 1.0);
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (const workloads::WorkloadInfo* info = workloads::byName(names[i])) {
+      hints[i] = info->costHint;
+    }
+  }
+  std::stable_sort(submitOrder.begin(), submitOrder.end(),
+                   [&hints](size_t a, size_t b) { return hints[a] > hints[b]; });
+  return parallelIndexMap(
+      pool, names.size(),
+      [&](size_t i) {
+        return evaluateWorkload(names[i], budgetRatio, taskOptions, i);
+      },
+      submitOrder);
 }
 
 std::vector<WorkloadEvaluation> evaluateAll(double budgetRatio, unsigned jobs,

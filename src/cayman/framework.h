@@ -21,6 +21,8 @@
 
 namespace cayman {
 
+class ThreadPool;
+
 struct FrameworkOptions {
   /// Accelerator target clock (paper: 500 MHz).
   double accelClockNs = 2.0;
@@ -57,6 +59,13 @@ struct FrameworkOptions {
   /// hash, model fingerprint) and attaches it to the model; cache damage
   /// never fails the pipeline — affected regions just regenerate cold.
   std::string cacheDir;
+  /// Worker pool for nested region-level fan-out inside this workload: the
+  /// model's generateAll() runs cold candidate generations of distinct
+  /// regions concurrently on it. Not owned; must outlive the Framework.
+  /// nullptr keeps generation serial. Counter/trace/output bytes are
+  /// identical either way — only wall-clock changes. Deliberately excluded
+  /// from the persistent-cache model fingerprint.
+  ThreadPool* pool = nullptr;
 
   /// Per-workload wall-clock deadline in seconds (<= 0 disables). Policy
   /// knob only: the driver converts it into a CancelToken deadline; the

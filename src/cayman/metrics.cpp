@@ -113,6 +113,25 @@ Value buildMetricsJson(const std::vector<WorkloadEvaluation>& evaluations,
   Value totalsJson = Value::object();
   for (const auto& [name, value] : totals) totalsJson.set(name, value);
   document.set("totals", std::move(totalsJson));
+
+  // Out-of-task pool/gauge data is schedule-dependent (which thread steals
+  // which task varies run to run), so it rides the same wall-mode opt-in as
+  // stage_seconds and never perturbs the deterministic document.
+  if (options.includeWallTimes &&
+      (!options.globalCounters.empty() || !options.gauges.empty())) {
+    Value global = Value::object();
+    Value counters = Value::object();
+    for (const auto& [name, value] : options.globalCounters) {
+      counters.set(name, value);
+    }
+    global.set("counters", std::move(counters));
+    Value gaugesJson = Value::object();
+    for (const auto& [name, value] : options.gauges) {
+      gaugesJson.set(name, value);
+    }
+    global.set("gauges", std::move(gaugesJson));
+    document.set("global", std::move(global));
+  }
   return document;
 }
 

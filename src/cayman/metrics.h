@@ -8,6 +8,8 @@
 // from the byte-identity guarantee.
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "cayman/driver.h"
@@ -20,6 +22,14 @@ struct MetricsOptions {
   /// Adds stage_seconds / total_seconds / selection_seconds (wall clock) to
   /// each workload entry. Off by default to keep the document deterministic.
   bool includeWallTimes = false;
+  /// Out-of-task counters (pool.tasks, pool.steals, pool.tasks_nested) from
+  /// TraceRecorder::globalCounters(). Exported under "global" only when
+  /// includeWallTimes is set: which thread executes which task is schedule-
+  /// dependent, so these values would break deterministic byte-identity.
+  std::vector<std::pair<std::string, uint64_t>> globalCounters;
+  /// Global gauges (model.cold_inflight_peak, pool.workers) from
+  /// TraceRecorder::gauges(). Same wall-mode-only export rule.
+  std::vector<std::pair<std::string, int64_t>> gauges;
 };
 
 /// Builds the "cayman-metrics-v1" document. `tasks` are the trace records

@@ -1,6 +1,7 @@
 // Processor–accelerator data access interfaces (paper §III-C, Fig. 3).
 #pragma once
 
+#include <functional>
 #include <map>
 
 #include "ir/instruction.h"
@@ -40,6 +41,22 @@ inline bool operator==(const AccessIface& a, const AccessIface& b) {
 }
 inline bool operator!=(const AccessIface& a, const AccessIface& b) {
   return !(a == b);
+}
+/// Strict weak order consistent with operator== (equal iff neither is less).
+/// Lets signatures (vectors of AccessIface) key ordered containers, e.g. the
+/// model's block-schedule cache. Pointers compare via std::less, which is a
+/// total order even for unrelated objects. The order is arbitrary but stable
+/// within a process; it is never serialized.
+inline bool operator<(const AccessIface& a, const AccessIface& b) {
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.partitions != b.partitions) return a.partitions < b.partitions;
+  if (a.array != b.array) {
+    return std::less<const ir::GlobalArray*>{}(a.array, b.array);
+  }
+  if (a.footprintBytes != b.footprintBytes) {
+    return a.footprintBytes < b.footprintBytes;
+  }
+  return a.promoted < b.promoted;
 }
 
 /// Timing parameters of the interfaces. The defaults are calibrated so the

@@ -36,20 +36,32 @@ bool CandidateSelector::prunes(const Region* region) const {
          model_.profile().hotFraction(region) < params_.pruneHotFraction;
 }
 
-void CandidateSelector::collectCandidates(const Region* region,
-                                          CandidateLists& lists) const {
+void CandidateSelector::collectRegions(
+    const Region* region, std::vector<const Region*>& order) const {
   if (params_.cancel != nullptr) {
     params_.cancel->check(support::Stage::Select, region->label());
   }
   if (prunes(region)) return;
   if (region->kind() == RegionKind::Bb) {
-    lists.emplace(region, &model_.generate(region));
+    order.push_back(region);
     return;
   }
   for (const auto& child : region->children()) {
-    collectCandidates(child.get(), lists);
+    collectRegions(child.get(), order);
   }
-  if (region->isCtrlFlow()) lists.emplace(region, &model_.generate(region));
+  if (region->isCtrlFlow()) order.push_back(region);
+}
+
+void CandidateSelector::collectCandidates(const Region* region,
+                                          CandidateLists& lists) const {
+  std::vector<const Region*> order;
+  collectRegions(region, order);
+  std::vector<const std::vector<accel::AcceleratorConfig>*> generated =
+      model_.generateAll(order);
+  lists.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    lists.emplace(order[i], generated[i]);
+  }
 }
 
 std::vector<Solution> CandidateSelector::dpReference(

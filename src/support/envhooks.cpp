@@ -99,12 +99,40 @@ Expected<CorruptSpec> parseInjectCorrupt(std::string_view text) {
   return CorruptSpec{*mode, static_cast<uint64_t>(*offset)};
 }
 
+Expected<std::vector<SlowSpec>> parseInjectSlowList(std::string_view text) {
+  const char* var = "CAYMAN_INJECT_SLOW";
+  std::vector<SlowSpec> specs;
+  for (std::string_view piece : split(text, ',')) {
+    if (piece.empty()) {
+      return badSpec(var, text,
+                     "a comma-separated list of "
+                     "<workload>:generate:<microseconds> specs with no "
+                     "empty elements");
+    }
+    Expected<SlowSpec> spec = parseInjectSlow(piece);
+    if (!spec.ok()) return spec.diagnostic();
+    for (const SlowSpec& existing : specs) {
+      if (existing.workload == spec.value().workload) {
+        return badSpec(var, text,
+                       "at most one spec per workload (duplicate '" +
+                           spec.value().workload + "')");
+      }
+    }
+    specs.push_back(spec.takeValue());
+  }
+  return specs;
+}
+
 Expected<std::optional<FaultSpec>> envInjectFault() {
   return fromEnv("CAYMAN_INJECT_FAULT", parseInjectFault);
 }
 
-Expected<std::optional<SlowSpec>> envInjectSlow() {
-  return fromEnv("CAYMAN_INJECT_SLOW", parseInjectSlow);
+Expected<std::vector<SlowSpec>> envInjectSlow() {
+  const char* value = std::getenv("CAYMAN_INJECT_SLOW");
+  if (value == nullptr || *value == '\0') {
+    return std::vector<SlowSpec>{};
+  }
+  return parseInjectSlowList(value);
 }
 
 Expected<std::optional<CorruptSpec>> envInjectCorrupt() {

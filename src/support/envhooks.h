@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "support/status.h"
 
@@ -55,10 +56,18 @@ Expected<FaultSpec> parseInjectFault(std::string_view text);
 Expected<SlowSpec> parseInjectSlow(std::string_view text);
 Expected<CorruptSpec> parseInjectCorrupt(std::string_view text);
 
-// getenv wrappers: unset (or empty) variable -> ok(nullopt); set but
-// malformed -> the parser's failed Expected.
+/// CAYMAN_INJECT_SLOW accepts a comma-separated list of specs so overlap
+/// tests can stall *several* workloads in one run
+/// (`fir:generate:50000,dotproduct:generate:50000`). Every element must
+/// parse; empty elements (stray commas) are rejected. Duplicate workload
+/// names are rejected too — the driver matches by name and a duplicate
+/// would silently shadow.
+Expected<std::vector<SlowSpec>> parseInjectSlowList(std::string_view text);
+
+// getenv wrappers: unset (or empty) variable -> ok(nullopt / empty list);
+// set but malformed -> the parser's failed Expected.
 Expected<std::optional<FaultSpec>> envInjectFault();
-Expected<std::optional<SlowSpec>> envInjectSlow();
+Expected<std::vector<SlowSpec>> envInjectSlow();
 Expected<std::optional<CorruptSpec>> envInjectCorrupt();
 
 }  // namespace cayman::support::envhooks

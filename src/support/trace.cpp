@@ -23,6 +23,7 @@ std::chrono::steady_clock::time_point processEpoch() {
 /// Per-thread buffer for probes fired outside any TaskScope (pool worker
 /// lifetimes). Published to the global recorder when the thread exits.
 struct OrphanBuffer {
+  std::string label;  ///< optional override set via setThreadLabel
   std::vector<Event> events;
   ~OrphanBuffer();
 };
@@ -91,6 +92,17 @@ void TraceRecorder::setGauge(const std::string& name, int64_t value) {
   gauges_.emplace_back(name, value);
 }
 
+void TraceRecorder::setGaugeMax(const std::string& name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [existing, slot] : gauges_) {
+    if (existing == name) {
+      if (value > slot) slot = value;
+      return;
+    }
+  }
+  gauges_.emplace_back(name, value);
+}
+
 std::vector<TaskRecord> TraceRecorder::drainTasks() {
   std::vector<TaskRecord> result;
   {
@@ -134,7 +146,9 @@ void TraceRecorder::publishTask(TaskRecord record) {
 
 void TraceRecorder::publishOrphan(OrphanRecord record) {
   std::lock_guard<std::mutex> lock(mutex_);
-  record.label = "thread-" + std::to_string(orphanLabels_++);
+  if (record.label.empty()) {
+    record.label = "thread-" + std::to_string(orphanLabels_++);
+  }
   orphans_.push_back(std::move(record));
 }
 
@@ -143,11 +157,14 @@ namespace {
 OrphanBuffer::~OrphanBuffer() {
   if (events.empty()) return;
   OrphanRecord record;
+  record.label = std::move(label);
   record.events = std::move(events);
   TraceRecorder::global().publishOrphan(std::move(record));
 }
 
 }  // namespace
+
+void setThreadLabel(std::string label) { t_orphan.label = std::move(label); }
 
 struct TaskScope::State {
   TaskRecord record;
@@ -189,7 +206,13 @@ TaskScope::~TaskScope() {
   delete state_;
 }
 
+struct CounterCapture::State {
+  std::map<std::string, uint64_t> counters;
+};
+
 namespace {
+
+thread_local CounterCapture::State* t_capture = nullptr;
 
 /// The buffer a span or event lands in: the active task if any, otherwise
 /// the thread's orphan buffer.
@@ -200,8 +223,34 @@ std::vector<Event>& eventSink() {
 
 }  // namespace
 
+CounterCapture::CounterCapture() {
+  state_ = new State();
+  previous_ = t_capture;
+  t_capture = state_;
+}
+
+CounterCapture::~CounterCapture() {
+  t_capture = previous_;
+  delete state_;
+}
+
+std::vector<std::pair<std::string, uint64_t>> CounterCapture::take() {
+  std::vector<std::pair<std::string, uint64_t>> result(
+      state_->counters.begin(), state_->counters.end());
+  state_->counters.clear();
+  return result;
+}
+
+uint64_t CounterCapture::value(const std::string& name) const {
+  auto it = state_->counters.find(name);
+  return it == state_->counters.end() ? 0 : it->second;
+}
+
 Span::Span(std::string name, std::string category) {
-  if (!on()) return;
+  // Captures suppress spans: a span fired while generating on behalf of
+  // another task is position-dependent and cannot be replayed
+  // deterministically the way counter deltas can.
+  if (!on() || t_capture != nullptr) return;
   active_ = true;
   name_ = std::move(name);
   category_ = std::move(category);
@@ -214,6 +263,12 @@ Span::~Span() {
 }
 
 void count(const std::string& name, uint64_t delta) {
+  // The capture check precedes on(): persistent-cache accounting consumes
+  // captured deltas even when tracing is disabled.
+  if (t_capture != nullptr) {
+    t_capture->counters[name] += delta;
+    return;
+  }
   if (!on()) return;
   if (t_current != nullptr) {
     t_current->counters[name] += delta;
@@ -222,14 +277,26 @@ void count(const std::string& name, uint64_t delta) {
   }
 }
 
-void addStageSeconds(const std::string& stage, double seconds) {
+void countGlobal(const std::string& name, uint64_t delta) {
   if (!on()) return;
+  TraceRecorder::global().countGlobal(name, delta);
+}
+
+bool inTask() { return t_current != nullptr; }
+
+void addStageSeconds(const std::string& stage, double seconds) {
+  if (!on() || t_capture != nullptr) return;
   if (t_current != nullptr) t_current->stages[stage] += seconds;
 }
 
 void gauge(const std::string& name, int64_t value) {
   if (!on()) return;
   TraceRecorder::global().setGauge(name, value);
+}
+
+void gaugeMax(const std::string& name, int64_t value) {
+  if (!on()) return;
+  TraceRecorder::global().setGaugeMax(name, value);
 }
 
 namespace {

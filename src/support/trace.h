@@ -86,6 +86,10 @@ class TraceRecorder {
   void countGlobal(const std::string& name, uint64_t delta);
   /// Global gauges: last-written values (e.g. pool.workers). Thread-safe.
   void setGauge(const std::string& name, int64_t value);
+  /// Raises gauge `name` to at least `value` — a monotonic high-water mark
+  /// (e.g. model.cold_inflight_peak), safe against racing late writers that
+  /// would regress a last-write gauge. Thread-safe.
+  void setGaugeMax(const std::string& name, int64_t value);
 
   /// Takes every published task record, sorted by (index, unit); the
   /// recorder keeps running. Orphan buffers of live threads stay attached.
@@ -144,15 +148,65 @@ class Span {
   std::string category_;
 };
 
-/// Adds `delta` to counter `name`: task-local inside a TaskScope (fully
-/// deterministic), global otherwise.
+/// Captures every trace::count fired on this thread while alive, instead of
+/// letting it reach the ambient TaskScope or the global map. This is the
+/// determinism primitive for nested parallelism: a pool worker (or helping
+/// waiter) generating region R on behalf of workload W runs under a capture,
+/// so R's model.*/sched.* deltas never leak into whatever scope the
+/// executing thread happens to carry; the coordinating thread later replays
+/// the captured deltas into W's TaskScope in traversal order.
+///
+/// Captures intercept *before* the global on() check: the persistent model
+/// cache needs per-region counter deltas even when tracing is disabled.
+/// Spans and addStageSeconds are suppressed while a capture is active
+/// (events are position-dependent and cannot be replayed deterministically).
+/// Captures nest; the innermost wins.
+class CounterCapture {
+ public:
+  CounterCapture();
+  ~CounterCapture();
+  CounterCapture(const CounterCapture&) = delete;
+  CounterCapture& operator=(const CounterCapture&) = delete;
+
+  /// All captured (name, delta) pairs sorted by name; clears the capture.
+  std::vector<std::pair<std::string, uint64_t>> take();
+  /// Current captured total for `name` (0 when absent).
+  uint64_t value(const std::string& name) const;
+
+  /// Implementation detail (defined in trace.cpp).
+  struct State;
+
+ private:
+  State* state_ = nullptr;
+  State* previous_ = nullptr;
+};
+
+/// Adds `delta` to counter `name`: into the innermost CounterCapture if one
+/// is active on this thread (even with tracing off), else task-local inside
+/// a TaskScope (fully deterministic), else global.
 void count(const std::string& name, uint64_t delta);
+
+/// Adds `delta` directly to the global counter map, bypassing any TaskScope
+/// or CounterCapture. For schedule-dependent pool internals (pool.tasks,
+/// pool.steals, pool.tasks_nested) that must never enter a deterministic
+/// task record — or a capture that replays into one.
+void countGlobal(const std::string& name, uint64_t delta);
+
+/// True when the calling thread is inside a TaskScope.
+bool inTask();
 
 /// Accumulates pipeline-stage wall seconds into the current TaskScope.
 void addStageSeconds(const std::string& stage, double seconds);
 
 /// Sets a global gauge (no-op when tracing is off).
 void gauge(const std::string& name, int64_t value);
+
+/// Raises a global gauge to at least `value` (no-op when tracing is off).
+void gaugeMax(const std::string& name, int64_t value);
+
+/// Names this thread's orphan record (e.g. "pool-worker-3") instead of the
+/// default publish-order "thread-<n>" label. Wall-mode traces only.
+void setThreadLabel(std::string label);
 
 /// Steady-clock nanoseconds since the recorder's process epoch.
 uint64_t nowNs();

@@ -21,6 +21,13 @@ struct WorkloadInfo {
   /// Substitution note (empty for faithful ports).
   std::string note;
   std::function<std::unique_ptr<ir::Module>()> build;
+  /// Relative evaluation cost (arbitrary units, default 1.0) used for LPT
+  /// scheduling in evaluateWorkloads: heavier workloads are *submitted*
+  /// first so the sweep's makespan is not bound by a tail workload landing
+  /// last. Purely a scheduling hint — never affects results or output
+  /// order. Filled by the registry (registry.cpp); suite builders leave it
+  /// defaulted.
+  double costHint = 1.0;
 };
 
 /// All registered workloads in the paper's Table II order.

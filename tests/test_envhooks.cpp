@@ -134,11 +134,68 @@ TEST(EnvWrapperTest, SetValuesParseAndMalformedFail) {
   unsetenv("CAYMAN_INJECT_FAULT");
 
   setenv("CAYMAN_INJECT_SLOW", "atax:generate:10", 1);
-  Expected<std::optional<SlowSpec>> slow = envInjectSlow();
+  Expected<std::vector<SlowSpec>> slow = envInjectSlow();
   ASSERT_TRUE(slow.ok());
-  ASSERT_TRUE(slow.value().has_value());
-  EXPECT_EQ(slow.value()->micros, 10u);
+  ASSERT_EQ(slow.value().size(), 1u);
+  EXPECT_EQ(slow.value()[0].micros, 10u);
   unsetenv("CAYMAN_INJECT_SLOW");
+}
+
+TEST(InjectSlowListTest, ParsesMultipleSpecs) {
+  Expected<std::vector<SlowSpec>> specs =
+      parseInjectSlowList("atax:generate:50000,bicg:generate:50000");
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs.value().size(), 2u);
+  EXPECT_EQ(specs.value()[0].workload, "atax");
+  EXPECT_EQ(specs.value()[0].micros, 50000u);
+  EXPECT_EQ(specs.value()[1].workload, "bicg");
+  EXPECT_EQ(specs.value()[1].micros, 50000u);
+}
+
+TEST(InjectSlowListTest, SingleSpecStillParses) {
+  Expected<std::vector<SlowSpec>> specs =
+      parseInjectSlowList("fft:generate:100");
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs.value().size(), 1u);
+  EXPECT_EQ(specs.value()[0].workload, "fft");
+}
+
+TEST(InjectSlowListTest, RejectsEmptyElementsAndDuplicates) {
+  for (const char* bad :
+       {"", ",", "atax:generate:10,", ",atax:generate:10",
+        "atax:generate:10,,bicg:generate:10",
+        "atax:generate:10,atax:generate:20",
+        "atax:generate:10,bicg:generate"}) {
+    Expected<std::vector<SlowSpec>> specs = parseInjectSlowList(bad);
+    EXPECT_FALSE(specs.ok()) << "'" << bad << "' should be rejected";
+    if (!specs.ok()) {
+      EXPECT_EQ(specs.diagnostic().unit, "CAYMAN_INJECT_SLOW");
+    }
+  }
+}
+
+TEST(InjectSlowListTest, DuplicateRejectionNamesTheWorkload) {
+  Expected<std::vector<SlowSpec>> specs =
+      parseInjectSlowList("mvt:generate:5,mvt:generate:9");
+  ASSERT_FALSE(specs.ok());
+  EXPECT_NE(specs.diagnostic().message.find("duplicate 'mvt'"),
+            std::string::npos);
+}
+
+TEST(InjectSlowListTest, EnvWrapperAcceptsList) {
+  setenv("CAYMAN_INJECT_SLOW", "atax:generate:1,bicg:generate:2", 1);
+  Expected<std::vector<SlowSpec>> specs = envInjectSlow();
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs.value().size(), 2u);
+  EXPECT_EQ(specs.value()[1].micros, 2u);
+
+  setenv("CAYMAN_INJECT_SLOW", "atax:generate:1,atax:generate:2", 1);
+  EXPECT_FALSE(envInjectSlow().ok());
+
+  unsetenv("CAYMAN_INJECT_SLOW");
+  Expected<std::vector<SlowSpec>> unset = envInjectSlow();
+  ASSERT_TRUE(unset.ok());
+  EXPECT_TRUE(unset.value().empty());
 }
 
 }  // namespace

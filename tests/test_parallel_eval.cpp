@@ -4,6 +4,7 @@
 // The TSan CI job runs this binary.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <thread>
 
 #include "cayman/driver.h"
@@ -110,6 +111,46 @@ TEST(ParallelEvalTest, WarmedCacheDoesNotChangeResults) {
   Framework warm(workloads::build("atax"));
   warm.model().warmGenerateCache();
   expectReportsIdentical(cold.evaluate(0.25), warm.evaluate(0.25), "atax");
+}
+
+TEST(ParallelEvalTest, HighJobCountsMatchColdAndWarmWithCacheDir) {
+  // Oversubscribed pools (jobs far above the core count) and the persistent
+  // model cache, cold then warm, must all reproduce the jobs=1 cold run
+  // byte-for-byte. Separate cache dirs per jobs count keep the cold runs
+  // genuinely cold.
+  namespace fs = std::filesystem;
+  const std::vector<std::string> names = {"atax", "bicg", "mvt", "doitgen"};
+  std::vector<WorkloadEvaluation> reference =
+      evaluateWorkloads(names, 0.25, 1);
+  std::string referenceTable = formatEvaluationTable(reference);
+
+  for (unsigned jobs : {8u, 64u}) {
+    fs::path dir = fs::temp_directory_path() /
+                   ("cayman_jobs_cache_" + std::to_string(jobs));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    FrameworkOptions options;
+    options.cacheDir = dir.string();
+
+    std::vector<WorkloadEvaluation> cold =
+        evaluateWorkloads(names, 0.25, jobs, options);
+    EXPECT_EQ(formatEvaluationTable(cold), referenceTable)
+        << "cold jobs=" << jobs;
+    size_t snapshots = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().extension() == ".cayc") ++snapshots;
+    }
+    EXPECT_EQ(snapshots, names.size()) << "jobs=" << jobs;
+
+    std::vector<WorkloadEvaluation> warm =
+        evaluateWorkloads(names, 0.25, jobs, options);
+    EXPECT_EQ(formatEvaluationTable(warm), referenceTable)
+        << "warm jobs=" << jobs;
+    for (const WorkloadEvaluation& evaluation : warm) {
+      EXPECT_GE(evaluation.cacheStats.diskHits, 1u) << evaluation.name;
+    }
+    fs::remove_all(dir);
+  }
 }
 
 TEST(ParallelEvalTest, EvaluateWorkloadsHonorsNameOrder) {

@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 
 #include "support/error.h"
 #include "support/thread_pool.h"
@@ -121,11 +123,21 @@ TEST(ThreadPoolTest, ParallelIndexMapSurfacesFirstErrorByIndex) {
   EXPECT_EQ(pool.submit([] { return 11; }).get(), 11);
 }
 
+// Both exception-propagation tests join the pool (scope exit) before
+// calling get(): reading a rethrown exception while the worker drops its
+// last reference to the future's shared state races on the exception
+// storage as far as TSan can see (the refcount ordering lives inside
+// uninstrumented libstdc++), and the join supplies an explicit
+// happens-before.
 TEST(ThreadPoolTest, EveryTaskThrowingDoesNotDeadlock) {
-  ThreadPool pool(2);
   std::vector<std::future<int>> futures;
-  for (int i = 0; i < 64; ++i) {
-    futures.push_back(pool.submit([]() -> int { throw Error("always"); }));
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([]() -> int { throw Error("always"); }));
+    }
+    // Still usable while the throwing tasks drain.
+    EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
   }
   int caught = 0;
   for (auto& f : futures) {
@@ -136,19 +148,21 @@ TEST(ThreadPoolTest, EveryTaskThrowingDoesNotDeadlock) {
     }
   }
   EXPECT_EQ(caught, 64);
-  EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
 }
 
 TEST(ThreadPoolTest, NonStdExceptionPropagatesThroughFuture) {
-  ThreadPool pool(2);
-  std::future<int> future = pool.submit([]() -> int { throw 42; });
+  std::future<int> future;
+  {
+    ThreadPool pool(2);
+    future = pool.submit([]() -> int { throw 42; });
+    EXPECT_EQ(pool.submit([] { return 6; }).get(), 6);
+  }
   try {
     future.get();
     FAIL() << "expected int exception";
   } catch (int value) {
     EXPECT_EQ(value, 42);
   }
-  EXPECT_EQ(pool.submit([] { return 6; }).get(), 6);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
@@ -162,6 +176,188 @@ TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
   }  // destructor joins after the queue drains
   for (auto& f : futures) f.get();
   EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, SubmitDuringShutdownThrows) {
+  // A task still running while the destructor drains must see submit()
+  // throw, not have its subtask silently dropped (a dropped task is a hang
+  // in the submitter). The pool object stays alive until the destructor
+  // returns, and the destructor joins the workers, so the capture is safe.
+  std::atomic<bool> sawThrow{false};
+  std::atomic<bool> taskStarted{false};
+  {
+    ThreadPool pool(1);
+    pool.submitRaw([&pool, &sawThrow, &taskStarted] {
+      taskStarted.store(true);
+      while (!pool.stopping()) std::this_thread::yield();
+      try {
+        pool.submitRaw([] {});
+      } catch (const std::runtime_error&) {
+        sawThrow.store(true);
+      }
+    });
+    while (!taskStarted.load()) std::this_thread::yield();
+  }
+  EXPECT_TRUE(sawThrow.load());
+}
+
+TEST(ThreadPoolTest, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1u);
+  pool.ensureWorkers(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  pool.ensureWorkers(2);  // no-op: never shrinks
+  EXPECT_EQ(pool.workers(), 4u);
+  pool.ensureWorkers(4);  // no-op: already there
+  EXPECT_EQ(pool.workers(), 4u);
+  // The grown pool still runs work on every path.
+  std::vector<int> results = parallelIndexMap(
+      pool, 64, [](size_t i) { return static_cast<int>(i) * 2; });
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) * 2);
+  }
+}
+
+TEST(ThreadPoolTest, SharedPoolIsAProcessSingletonThatGrows) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  unsigned before = a.workers();
+  a.ensureWorkers(before + 1);
+  EXPECT_GE(ThreadPool::shared().workers(), before + 1);
+  EXPECT_EQ(a.submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPoolTest, InPoolTaskReflectsExecutionContext) {
+  EXPECT_FALSE(ThreadPool::inPoolTask());
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.submit([] { return ThreadPool::inPoolTask(); }).get());
+  EXPECT_FALSE(ThreadPool::inPoolTask());
+}
+
+TEST(ThreadPoolTest, ParallelIndexMapSubmitOrderOnlyChangesEnqueue) {
+  ThreadPool pool(4);
+  std::vector<size_t> reversed(100);
+  for (size_t i = 0; i < reversed.size(); ++i) {
+    reversed[i] = reversed.size() - 1 - i;
+  }
+  std::vector<size_t> results = parallelIndexMap(
+      pool, 100, [](size_t i) { return i * 3; }, reversed);
+  ASSERT_EQ(results.size(), 100u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * 3);  // index order, not submit order
+  }
+  // The lowest-index exception surfaces even when it was enqueued last.
+  try {
+    parallelIndexMap(
+        pool, 8,
+        [](size_t i) -> int {
+          if (i == 1) throw Error("boom at 1");
+          if (i == 6) throw Error("boom at 6");
+          return 0;
+        },
+        reversed = {7, 6, 5, 4, 3, 2, 1, 0});
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "boom at 1");
+  }
+}
+
+TEST(TaskGroupTest, WaitHelpsOnSingleWorkerPool) {
+  // The helping-wait contract: a task on a 1-worker pool fans out subtasks
+  // and joins them without deadlock — the waiter itself runs them inline.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::future<void> outer = pool.submit([&pool, &ran] {
+    TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i) {
+      group.run([&ran] { ++ran; });
+    }
+    group.wait();
+  });
+  outer.get();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(TaskGroupTest, NestedGroupsDoNotDeadlock) {
+  // Two levels of fan-out on a pool smaller than the task tree.
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  std::future<void> outer = pool.submit([&pool, &leaves] {
+    TaskGroup top(pool);
+    for (int i = 0; i < 4; ++i) {
+      top.run([&pool, &leaves] {
+        TaskGroup inner(pool);
+        for (int j = 0; j < 4; ++j) {
+          inner.run([&leaves] { ++leaves; });
+        }
+        inner.wait();
+      });
+    }
+    top.wait();
+  });
+  outer.get();
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(TaskGroupTest, RethrowsLowestSubmissionIndexException) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  for (int i = 0; i < 12; ++i) {
+    group.run([i] {
+      if (i == 2) throw Error("fail 2");
+      if (i == 9) throw Error("fail 9");
+    });
+  }
+  try {
+    group.wait();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "fail 2");
+  }
+  // The pool survives; so does the group (wait is repeatable).
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(TaskGroupTest, StolenSubtaskExceptionIsSafe) {
+  // Subtasks submitted from inside a pool task land on the owner's deque;
+  // with several workers some are stolen. A throwing stolen subtask must
+  // reach wait() as an exception without wedging the group, the thief, or
+  // the pool. Repeat to give the steal path real exercise.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::future<int> outer = pool.submit([&pool, round]() -> int {
+      TaskGroup group(pool);
+      std::atomic<int> ok{0};
+      for (int i = 0; i < 32; ++i) {
+        group.run([i, round, &ok] {
+          if ((i + round) % 7 == 0) throw Error("stolen boom");
+          ++ok;
+        });
+      }
+      try {
+        group.wait();
+        ADD_FAILURE() << "expected Error in round " << round;
+      } catch (const Error&) {
+      }
+      return ok.load();
+    });
+    EXPECT_GE(outer.get(), 0);
+  }
+  EXPECT_EQ(pool.submit([] { return 13; }).get(), 13);
+}
+
+TEST(TaskGroupTest, WaitJoinsLaterRuns) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  group.run([&ran] { ++ran; });
+  group.wait();
+  EXPECT_EQ(ran.load(), 1);
+  group.run([&ran] { ++ran; });
+  group.run([&ran] { ++ran; });
+  group.wait();
+  EXPECT_EQ(ran.load(), 3);
 }
 
 }  // namespace

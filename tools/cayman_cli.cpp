@@ -330,7 +330,7 @@ int cmdEvaluateAll(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", fault.diagnostic().str().c_str());
       return 2;
     }
-    support::Expected<std::optional<support::envhooks::SlowSpec>> slow =
+    support::Expected<std::vector<support::envhooks::SlowSpec>> slow =
         support::envhooks::envInjectSlow();
     if (!slow.ok()) {
       std::fprintf(stderr, "error: %s\n", slow.diagnostic().str().c_str());
@@ -393,6 +393,8 @@ int cmdEvaluateAll(int argc, char** argv) {
     if (!metricsOut.empty()) {
       MetricsOptions metricsOptions;
       metricsOptions.includeWallTimes = traceWall;
+      metricsOptions.globalCounters = recorder.globalCounters();
+      metricsOptions.gauges = recorder.gauges();
       support::json::Value document =
           buildMetricsJson(evaluations, tasks, metricsOptions);
       if (!writeFile(metricsOut, document.dump(2) + "\n")) return 1;

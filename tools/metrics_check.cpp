@@ -189,6 +189,51 @@ void checkWorkload(const Value& entry, size_t position) {
   }
 }
 
+/// Wall-mode "global" section: out-of-task pool counters and gauges. The
+/// section is optional (absent when tracing was off or the document is
+/// deterministic), but when present its values must be sane, and the pool
+/// counters must satisfy steals <= tasks (a steal executes one task).
+void checkGlobal(const Value& global) {
+  const std::string where = "global";
+  if (const Value* counters = global.find("counters")) {
+    if (!counters->isObject()) {
+      fail(where, "counters is not an object");
+    } else {
+      for (const auto& [name, value] : counters->members()) {
+        if (!value.isInt() || value.intValue() < 0) {
+          fail(where, "counter '" + name + "' is not a non-negative integer");
+        }
+      }
+      const Value* tasks = counters->find("pool.tasks");
+      const Value* steals = counters->find("pool.steals");
+      const Value* nested = counters->find("pool.tasks_nested");
+      if (tasks != nullptr && steals != nullptr && tasks->isInt() &&
+          steals->isInt() && steals->intValue() > tasks->intValue()) {
+        fail(where, "pool.steals > pool.tasks");
+      }
+      if (tasks != nullptr && nested != nullptr && tasks->isInt() &&
+          nested->isInt() && nested->intValue() > tasks->intValue()) {
+        fail(where, "pool.tasks_nested > pool.tasks");
+      }
+    }
+  }
+  if (const Value* gauges = global.find("gauges")) {
+    if (!gauges->isObject()) {
+      fail(where, "gauges is not an object");
+    } else {
+      for (const auto& [name, value] : gauges->members()) {
+        if (!value.isInt()) {
+          fail(where, "gauge '" + name + "' is not an integer");
+        }
+      }
+      const Value* peak = gauges->find("model.cold_inflight_peak");
+      if (peak != nullptr && peak->isInt() && peak->intValue() < 0) {
+        fail(where, "model.cold_inflight_peak is negative");
+      }
+    }
+  }
+}
+
 int check(const Value& document) {
   if (!document.isObject()) {
     fail("document", "top level is not an object");
@@ -207,6 +252,18 @@ int check(const Value& document) {
     }
   }
   require(document, "document", "totals", "object");
+  if (const Value* global = document.find("global")) {
+    if (!global->isObject()) {
+      fail("document", "global is not an object");
+    } else {
+      const Value* mode = document.find("time_mode");
+      if (mode != nullptr && mode->isString() &&
+          mode->stringValue() == "deterministic") {
+        fail("document", "deterministic document carries a global section");
+      }
+      checkGlobal(*global);
+    }
+  }
   const Value* workloads =
       require(document, "document", "workloads", "array");
   if (workloads == nullptr) return 1;
